@@ -1,0 +1,92 @@
+//! Error type for the algebra layer.
+
+use std::fmt;
+
+use md_relation::RelationError;
+
+/// Result alias used throughout `md-algebra`.
+pub type Result<T, E = AlgebraError> = std::result::Result<T, E>;
+
+/// Errors raised while constructing or evaluating GPSJ views.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// A column reference points at a table that is not part of the view.
+    UnknownViewTable {
+        /// The view involved.
+        view: String,
+        /// Rendered reference.
+        reference: String,
+    },
+    /// A view definition is not a valid GPSJ view.
+    InvalidView {
+        /// The view involved.
+        view: String,
+        /// Explanation of the problem.
+        detail: String,
+    },
+    /// An aggregate was applied to an argument of an unsupported type.
+    BadAggregateArgument {
+        /// The aggregate, e.g. `SUM`.
+        func: String,
+        /// Explanation of the problem.
+        detail: String,
+    },
+    /// Error bubbled up from the storage layer.
+    Relation(RelationError),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::UnknownViewTable { view, reference } => {
+                write!(
+                    f,
+                    "view '{view}': reference {reference} is not bound to a view table"
+                )
+            }
+            AlgebraError::InvalidView { view, detail } => {
+                write!(f, "invalid GPSJ view '{view}': {detail}")
+            }
+            AlgebraError::BadAggregateArgument { func, detail } => {
+                write!(f, "invalid argument to {func}: {detail}")
+            }
+            AlgebraError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgebraError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for AlgebraError {
+    fn from(e: RelationError) -> Self {
+        AlgebraError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_errors_convert() {
+        let e: AlgebraError = RelationError::NullNotSupported.into();
+        assert!(matches!(e, AlgebraError::Relation(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_names_the_view() {
+        let e = AlgebraError::InvalidView {
+            view: "product_sales".into(),
+            detail: "join graph is not a tree".into(),
+        };
+        assert!(e.to_string().contains("product_sales"));
+    }
+}

@@ -1,0 +1,481 @@
+//! GPSJ view definitions.
+//!
+//! A GPSJ view (paper Section 2.1) is
+//!
+//! ```text
+//! V = Π_A σ_S (R₁ ⋈_{C₁} R₂ ⋈_{C₂} … ⋈_{Cₙ₋₁} Rₙ)
+//! ```
+//!
+//! where `Π_A` is a *generalized projection* (duplicate-eliminating
+//! projection whose schema `A` mixes group-by attributes and aggregates),
+//! `S` is a conjunction of selection conditions, and each `Cᵢ` is a key
+//! join `Rᵢ.b = Rⱼ.a` with `a` the key of `Rⱼ`.
+
+use std::collections::BTreeSet;
+
+use md_relation::{Catalog, Column, Schema, TableId};
+
+use crate::agg::{Aggregate, SelectItem};
+use crate::error::{AlgebraError, Result};
+use crate::having::HavingCond;
+use crate::pred::{ColRef, Condition};
+
+/// A generalized project–select–join view definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpsjView {
+    /// View name.
+    pub name: String,
+    /// The base tables referenced (`R` in the paper), without duplicates —
+    /// the paper assumes no self-joins.
+    pub tables: Vec<TableId>,
+    /// The generalized projection schema `A`, in output order.
+    pub select: Vec<SelectItem>,
+    /// The conjunctive selection `S` (local conditions and join conditions
+    /// together, as written in the `WHERE` clause).
+    pub conditions: Vec<Condition>,
+    /// Restrictions on groups (`HAVING`) — an output filter over the
+    /// select list (paper Section 4 extension). Does not affect the
+    /// auxiliary views: groups failing the clause are maintained
+    /// internally and filtered at read time.
+    pub having: Vec<HavingCond>,
+}
+
+impl GpsjView {
+    /// Creates a view definition. Call [`GpsjView::validate`] before use.
+    pub fn new(
+        name: impl Into<String>,
+        tables: Vec<TableId>,
+        select: Vec<SelectItem>,
+        conditions: Vec<Condition>,
+    ) -> Self {
+        GpsjView {
+            name: name.into(),
+            tables,
+            select,
+            conditions,
+            having: Vec::new(),
+        }
+    }
+
+    /// Adds `HAVING` conditions (builder style).
+    pub fn with_having(mut self, having: Vec<HavingCond>) -> Self {
+        self.having = having;
+        self
+    }
+
+    fn invalid(&self, detail: impl Into<String>) -> AlgebraError {
+        AlgebraError::InvalidView {
+            view: self.name.clone(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Checks that the definition is a well-formed GPSJ view:
+    ///
+    /// * at least one table, all distinct (no self-joins),
+    /// * every column reference is bound to a view table and in range,
+    /// * at least one select item, with unique aliases,
+    /// * aggregates pass [`Aggregate::validate`],
+    /// * every non-local condition is a key join ([`Condition::join_pair`]).
+    pub fn validate(&self, catalog: &Catalog) -> Result<()> {
+        if self.tables.is_empty() {
+            return Err(self.invalid("view references no tables"));
+        }
+        for (i, t) in self.tables.iter().enumerate() {
+            catalog.def(*t)?;
+            if self.tables[..i].contains(t) {
+                return Err(self.invalid(format!(
+                    "table '{}' occurs twice (self-joins are outside the GPSJ class handled here)",
+                    catalog.def(*t).map(|d| d.name.clone()).unwrap_or_default()
+                )));
+            }
+        }
+        if self.select.is_empty() {
+            return Err(self.invalid("empty select list"));
+        }
+        let mut aliases = BTreeSet::new();
+        for item in &self.select {
+            if !aliases.insert(item.alias().to_owned()) {
+                return Err(self.invalid(format!("duplicate output alias '{}'", item.alias())));
+            }
+            match item {
+                SelectItem::GroupBy { col, .. } => self.check_col(catalog, *col)?,
+                SelectItem::Agg { agg, .. } => {
+                    if let Some(col) = agg.arg {
+                        self.check_col(catalog, col)?;
+                    }
+                    agg.validate(catalog)?;
+                }
+            }
+        }
+        for h in &self.having {
+            if h.item >= self.select.len() {
+                return Err(self.invalid(format!(
+                    "HAVING references select item {} of {}",
+                    h.item,
+                    self.select.len()
+                )));
+            }
+            let out_ty = match &self.select[h.item] {
+                SelectItem::GroupBy { col, .. } => {
+                    catalog.def(col.table)?.schema.column(col.column).dtype
+                }
+                SelectItem::Agg { agg, .. } => agg.result_type(catalog)?,
+            };
+            let lit_ty = h.value.data_type();
+            if out_ty != lit_ty && !(out_ty.is_numeric() && lit_ty.is_numeric()) {
+                return Err(self.invalid(format!(
+                    "HAVING compares output '{}' ({out_ty}) with a {lit_ty} literal",
+                    self.select[h.item].alias()
+                )));
+            }
+        }
+        for cond in &self.conditions {
+            for col in cond.columns() {
+                self.check_col(catalog, col)?;
+            }
+            if !cond.is_local() {
+                cond.join_pair(catalog).map_err(|e| match e {
+                    AlgebraError::InvalidView { detail, .. } => AlgebraError::InvalidView {
+                        view: self.name.clone(),
+                        detail,
+                    },
+                    other => other,
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_col(&self, catalog: &Catalog, col: ColRef) -> Result<()> {
+        if !self.tables.contains(&col.table) {
+            return Err(AlgebraError::UnknownViewTable {
+                view: self.name.clone(),
+                reference: col.display(catalog),
+            });
+        }
+        let def = catalog.def(col.table)?;
+        if col.column >= def.schema.arity() {
+            return Err(self.invalid(format!(
+                "column index {} out of range for table '{}'",
+                col.column, def.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// The group-by attributes `GB(A)`, in select order.
+    pub fn group_by_cols(&self) -> Vec<ColRef> {
+        self.select
+            .iter()
+            .filter_map(SelectItem::as_group_by)
+            .collect()
+    }
+
+    /// All aggregates, in select order.
+    pub fn aggregates(&self) -> Vec<&Aggregate> {
+        self.select.iter().filter_map(SelectItem::as_agg).collect()
+    }
+
+    /// The local conditions (single-table conjuncts) on `table`.
+    pub fn local_conditions(&self, table: TableId) -> Vec<&Condition> {
+        self.conditions
+            .iter()
+            .filter(|c| c.is_local() && c.left.table == table)
+            .collect()
+    }
+
+    /// All join conditions, each oriented as `(foreign side, key side)`.
+    pub fn join_conditions(&self, catalog: &Catalog) -> Result<Vec<(ColRef, ColRef)>> {
+        self.conditions
+            .iter()
+            .filter(|c| !c.is_local())
+            .map(|c| c.join_pair(catalog))
+            .collect()
+    }
+
+    /// The attributes of `table` *preserved* in the view: appearing in the
+    /// projection schema `A`, either as group-by attributes or inside
+    /// aggregates (paper Section 2.1).
+    pub fn preserved_columns(&self, table: TableId) -> BTreeSet<usize> {
+        let mut cols = BTreeSet::new();
+        for item in &self.select {
+            match item {
+                SelectItem::GroupBy { col, .. } if col.table == table => {
+                    cols.insert(col.column);
+                }
+                SelectItem::Agg { agg, .. } => {
+                    if let Some(col) = agg.arg {
+                        if col.table == table {
+                            cols.insert(col.column);
+                        }
+                    }
+                }
+                SelectItem::GroupBy { .. } => {}
+            }
+        }
+        cols
+    }
+
+    /// The attributes of `table` appearing in group-by position.
+    pub fn group_by_columns_of(&self, table: TableId) -> BTreeSet<usize> {
+        self.group_by_cols()
+            .into_iter()
+            .filter(|c| c.table == table)
+            .map(|c| c.column)
+            .collect()
+    }
+
+    /// The attributes of `table` involved in any selection or join
+    /// condition — the attribute set whose updatability makes updates
+    /// *exposed* (paper Section 2.1).
+    pub fn condition_columns(&self, table: TableId) -> BTreeSet<usize> {
+        self.conditions
+            .iter()
+            .flat_map(|c| c.columns())
+            .filter(|c| c.table == table)
+            .map(|c| c.column)
+            .collect()
+    }
+
+    /// The attributes of `table` used as the *foreign* side of a join
+    /// condition.
+    pub fn join_columns_of(&self, catalog: &Catalog, table: TableId) -> Result<BTreeSet<usize>> {
+        let mut cols = BTreeSet::new();
+        for (fk, key) in self.join_conditions(catalog)? {
+            if fk.table == table {
+                cols.insert(fk.column);
+            }
+            if key.table == table {
+                cols.insert(key.column);
+            }
+        }
+        Ok(cols)
+    }
+
+    /// The output schema of the view.
+    pub fn output_schema(&self, catalog: &Catalog) -> Result<Schema> {
+        let mut cols = Vec::with_capacity(self.select.len());
+        for item in &self.select {
+            let dtype = match item {
+                SelectItem::GroupBy { col, .. } => {
+                    catalog.def(col.table)?.schema.column(col.column).dtype
+                }
+                SelectItem::Agg { agg, .. } => agg.result_type(catalog)?,
+            };
+            cols.push(Column::new(item.alias(), dtype));
+        }
+        Schema::new(cols).map_err(AlgebraError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use crate::pred::CmpOp;
+    use md_relation::{DataType, Schema as RSchema};
+
+    /// The paper's running-example catalog (Section 1.1).
+    pub(crate) fn star_catalog() -> (Catalog, TableId, TableId, TableId, TableId) {
+        let mut cat = Catalog::new();
+        let time = cat
+            .add_table(
+                "time",
+                RSchema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("day", DataType::Int),
+                    ("month", DataType::Int),
+                    ("year", DataType::Int),
+                ]),
+                0,
+            )
+            .unwrap();
+        let product = cat
+            .add_table(
+                "product",
+                RSchema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("brand", DataType::Str),
+                    ("category", DataType::Str),
+                ]),
+                0,
+            )
+            .unwrap();
+        let store = cat
+            .add_table(
+                "store",
+                RSchema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("city", DataType::Str),
+                    ("country", DataType::Str),
+                ]),
+                0,
+            )
+            .unwrap();
+        let sale = cat
+            .add_table(
+                "sale",
+                RSchema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("timeid", DataType::Int),
+                    ("productid", DataType::Int),
+                    ("storeid", DataType::Int),
+                    ("price", DataType::Double),
+                ]),
+                0,
+            )
+            .unwrap();
+        cat.add_foreign_key(sale, 1, time).unwrap();
+        cat.add_foreign_key(sale, 2, product).unwrap();
+        cat.add_foreign_key(sale, 3, store).unwrap();
+        (cat, time, product, store, sale)
+    }
+
+    /// The paper's `product_sales` view (Section 1.1).
+    pub(crate) fn product_sales(
+        cat: &Catalog,
+        time: TableId,
+        product: TableId,
+        sale: TableId,
+    ) -> GpsjView {
+        let _ = cat;
+        GpsjView::new(
+            "product_sales",
+            vec![sale, time, product],
+            vec![
+                SelectItem::group_by(ColRef::new(time, 2), "month"),
+                SelectItem::agg(
+                    Aggregate::of(AggFunc::Sum, ColRef::new(sale, 4)),
+                    "TotalPrice",
+                ),
+                SelectItem::agg(Aggregate::count_star(), "TotalCount"),
+                SelectItem::agg(
+                    Aggregate::distinct_of(AggFunc::Count, ColRef::new(product, 1)),
+                    "DifferentBrands",
+                ),
+            ],
+            vec![
+                Condition::cmp_lit(ColRef::new(time, 3), CmpOp::Eq, 1997i64),
+                Condition::eq_cols(ColRef::new(sale, 1), ColRef::new(time, 0)),
+                Condition::eq_cols(ColRef::new(sale, 2), ColRef::new(product, 0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn product_sales_validates() {
+        let (cat, time, product, _, sale) = star_catalog();
+        let v = product_sales(&cat, time, product, sale);
+        v.validate(&cat).unwrap();
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let (cat, time, _, _, _) = star_catalog();
+        let v = GpsjView::new(
+            "bad",
+            vec![time, time],
+            vec![SelectItem::group_by(ColRef::new(time, 1), "day")],
+            vec![],
+        );
+        assert!(v.validate(&cat).is_err());
+    }
+
+    #[test]
+    fn unbound_reference_rejected() {
+        let (cat, time, product, _, _) = star_catalog();
+        let v = GpsjView::new(
+            "bad",
+            vec![time],
+            vec![SelectItem::group_by(ColRef::new(product, 1), "brand")],
+            vec![],
+        );
+        assert!(matches!(
+            v.validate(&cat),
+            Err(AlgebraError::UnknownViewTable { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let (cat, time, _, _, _) = star_catalog();
+        let v = GpsjView::new(
+            "bad",
+            vec![time],
+            vec![
+                SelectItem::group_by(ColRef::new(time, 1), "x"),
+                SelectItem::group_by(ColRef::new(time, 2), "x"),
+            ],
+            vec![],
+        );
+        assert!(v.validate(&cat).is_err());
+    }
+
+    #[test]
+    fn non_key_join_rejected() {
+        let (cat, time, _, _, sale) = star_catalog();
+        let v = GpsjView::new(
+            "bad",
+            vec![sale, time],
+            vec![SelectItem::agg(Aggregate::count_star(), "n")],
+            vec![Condition::eq_cols(
+                ColRef::new(sale, 4),
+                ColRef::new(time, 2),
+            )],
+        );
+        assert!(v.validate(&cat).is_err());
+    }
+
+    #[test]
+    fn group_by_and_aggregate_extraction() {
+        let (cat, time, product, _, sale) = star_catalog();
+        let v = product_sales(&cat, time, product, sale);
+        assert_eq!(v.group_by_cols(), vec![ColRef::new(time, 2)]);
+        assert_eq!(v.aggregates().len(), 3);
+    }
+
+    #[test]
+    fn preserved_and_condition_columns() {
+        let (cat, time, product, _, sale) = star_catalog();
+        let v = product_sales(&cat, time, product, sale);
+        // sale preserves only price (used in SUM).
+        assert_eq!(v.preserved_columns(sale), BTreeSet::from([4]));
+        // time preserves month.
+        assert_eq!(v.preserved_columns(time), BTreeSet::from([2]));
+        // product preserves brand.
+        assert_eq!(v.preserved_columns(product), BTreeSet::from([1]));
+        // time's condition columns: id (join) and year (local).
+        assert_eq!(v.condition_columns(time), BTreeSet::from([0, 3]));
+        // sale's condition columns: timeid, productid.
+        assert_eq!(v.condition_columns(sale), BTreeSet::from([1, 2]));
+        // join columns of sale: the two foreign keys.
+        assert_eq!(
+            v.join_columns_of(&cat, sale).unwrap(),
+            BTreeSet::from([1, 2])
+        );
+    }
+
+    #[test]
+    fn local_conditions_filtered_by_table() {
+        let (cat, time, product, _, sale) = star_catalog();
+        let v = product_sales(&cat, time, product, sale);
+        assert_eq!(v.local_conditions(time).len(), 1);
+        assert_eq!(v.local_conditions(sale).len(), 0);
+        assert_eq!(v.join_conditions(&cat).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn output_schema_types() {
+        let (cat, time, product, _, sale) = star_catalog();
+        let v = product_sales(&cat, time, product, sale);
+        let schema = v.output_schema(&cat).unwrap();
+        assert_eq!(schema.arity(), 4);
+        assert_eq!(schema.column(0).name, "month");
+        assert_eq!(schema.column(0).dtype, DataType::Int);
+        assert_eq!(schema.column(1).name, "TotalPrice");
+        assert_eq!(schema.column(1).dtype, DataType::Double);
+        assert_eq!(schema.column(2).dtype, DataType::Int);
+        assert_eq!(schema.column(3).dtype, DataType::Int);
+    }
+}

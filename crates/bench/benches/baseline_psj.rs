@@ -1,0 +1,57 @@
+//! E10 — loading minimal GPSJ auxiliary views vs. the PSJ baseline
+//! (Quass et al. [14]) over the same sources, plus the storage gap.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use md_bench::{psj_baseline, setup_engine};
+use md_core::derive;
+use md_maintain::{load_psj_stores, MaintenanceEngine};
+use md_sql::parse_view;
+use md_workload::{generate_retail, views, Contracts, RetailParams};
+
+fn params() -> RetailParams {
+    RetailParams {
+        days: 12,
+        stores: 4,
+        products: 60,
+        products_sold_per_day_per_store: 15,
+        transactions_per_product: 10,
+        start_year: 1997,
+        year_split: 12,
+        seed: 77,
+    }
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let (db, _) = generate_retail(params(), Contracts::Tight);
+    let cat = db.catalog().clone();
+    let view = parse_view(views::PRODUCT_SALES_SQL, &cat, "v").expect("resolves");
+
+    let mut group = c.benchmark_group("baseline_psj");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(params().fact_rows()));
+
+    group.bench_function("gpsj_initial_load", |b| {
+        b.iter(|| {
+            let plan = derive(&view, &cat).expect("derives");
+            let mut engine = MaintenanceEngine::new(plan, &cat).expect("builds");
+            engine.initial_load(black_box(&db)).expect("loads");
+            engine
+        })
+    });
+
+    group.bench_function("psj_initial_load", |b| {
+        b.iter(|| load_psj_stores(&view, &cat, black_box(&db)).expect("loads"))
+    });
+    group.finish();
+
+    // Storage side effect: the GPSJ detail data must be smaller.
+    let loaded = setup_engine(params(), views::PRODUCT_SALES_SQL);
+    let gpsj_bytes: u64 = loaded.engine.aux_stores().map(|s| s.paper_bytes()).sum();
+    let (_, psj_bytes) = psj_baseline(&loaded.db, views::PRODUCT_SALES_SQL);
+    assert!(gpsj_bytes < psj_bytes);
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E8 — smart duplicate compression across duplication factors.
+//!
+//! Measures initial-load time (which is dominated by folding fact rows
+//! into the compressed auxiliary view) as the transactions-per-product
+//! factor grows, and asserts the storage shape as a side effect: the
+//! compressed view's size stays flat while the fact table grows linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use md_bench::{run_sweep_point, setup_engine, sweep_params};
+use md_workload::views;
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression_sweep");
+    group.sample_size(10);
+    for &factor in &[1u64, 4, 16] {
+        let params = sweep_params(factor);
+        group.throughput(Throughput::Elements(params.fact_rows()));
+        group.bench_with_input(
+            BenchmarkId::new("initial_load", factor),
+            &factor,
+            |b, &_factor| {
+                b.iter(|| {
+                    let loaded = setup_engine(black_box(params), views::PRODUCT_SALES_SQL);
+                    loaded.engine.storage_report()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Shape assertion (also printed by report_storage): aux rows are
+    // invariant in the factor.
+    let low = run_sweep_point(1);
+    let high = run_sweep_point(16);
+    assert_eq!(low.aux_rows, high.aux_rows);
+    assert!(high.ratio() > low.ratio());
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

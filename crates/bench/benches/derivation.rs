@@ -1,0 +1,38 @@
+//! Derivation-cost bench: Algorithm 3.2 end to end (parse, join graph,
+//! Need sets, compression, elimination, reconstruction planning) on the
+//! view zoo. Derivation is a design-time operation; this bench documents
+//! that it is effectively free even if re-run per query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use md_core::derive;
+use md_sql::parse_view;
+use md_workload::retail::{retail_catalog, Contracts};
+use md_workload::views;
+
+fn bench_derivation(c: &mut Criterion) {
+    let (cat, _) = retail_catalog(Contracts::Tight);
+    let mut group = c.benchmark_group("derivation");
+    for (name, sql) in [
+        ("product_sales", views::PRODUCT_SALES_SQL),
+        ("product_sales_max", views::PRODUCT_SALES_MAX_SQL),
+        ("store_revenue", views::STORE_REVENUE_SQL),
+        ("daily_product", views::DAILY_PRODUCT_SQL),
+    ] {
+        let view = parse_view(sql, &cat, name).expect("view resolves");
+        group.bench_with_input(BenchmarkId::new("derive", name), &view, |b, view| {
+            b.iter(|| derive(black_box(view), black_box(&cat)).expect("derives"))
+        });
+        group.bench_with_input(BenchmarkId::new("parse+derive", name), &sql, |b, sql| {
+            b.iter(|| {
+                let v = parse_view(black_box(sql), &cat, name).expect("parses");
+                derive(&v, &cat).expect("derives")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_derivation);
+criterion_main!(benches);

@@ -1,0 +1,347 @@
+//! E9 — the paper's central runtime claim: "incrementally maintaining
+//! summary data is substantially cheaper than recomputing it".
+//!
+//! Measures, for growing change-batch sizes, (a) incremental maintenance
+//! of `product_sales` from the auxiliary views versus (b) recomputation of
+//! the view from the base tables — which is also the only fallback a
+//! warehouse without auxiliary views would have, *if* the sources were
+//! even reachable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use md_bench::setup_engine;
+use md_maintain::recompute_from_sources;
+use md_workload::{sale_changes, views, RetailParams, UpdateMix};
+
+fn params() -> RetailParams {
+    RetailParams {
+        days: 20,
+        stores: 4,
+        products: 100,
+        products_sold_per_day_per_store: 25,
+        transactions_per_product: 10,
+        start_year: 1996,
+        year_split: 10,
+        seed: 2024,
+    }
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance_vs_recompute");
+    group.sample_size(10);
+
+    for &batch in &[1usize, 10, 100, 1000] {
+        group.throughput(Throughput::Elements(batch as u64));
+
+        // Incremental: apply a prepared batch to a freshly loaded engine.
+        group.bench_with_input(
+            BenchmarkId::new("incremental", batch),
+            &batch,
+            |b, &batch| {
+                b.iter_batched(
+                    || {
+                        let mut loaded = setup_engine(params(), views::PRODUCT_SALES_SQL);
+                        let changes = sale_changes(
+                            &mut loaded.db,
+                            &loaded.schema,
+                            batch,
+                            UpdateMix::balanced(),
+                            9,
+                        );
+                        (loaded, changes)
+                    },
+                    |(mut loaded, changes)| {
+                        loaded
+                            .engine
+                            .apply(loaded.schema.sale, black_box(&changes))
+                            .expect("maintains");
+                        loaded
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+
+        // Recomputation baseline: evaluate the view from the sources after
+        // the same batch.
+        group.bench_with_input(BenchmarkId::new("recompute", batch), &batch, |b, &batch| {
+            b.iter_batched(
+                || {
+                    let mut loaded = setup_engine(params(), views::PRODUCT_SALES_SQL);
+                    let _ = sale_changes(
+                        &mut loaded.db,
+                        &loaded.schema,
+                        batch,
+                        UpdateMix::balanced(),
+                        9,
+                    );
+                    loaded
+                },
+                |loaded| {
+                    let view = loaded.engine.plan().view.clone();
+                    recompute_from_sources(black_box(&view), &loaded.db).expect("recomputes")
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: how much of the incremental cost is the non-CSMAS
+/// recomputation path? Compare a CSMAS-only view with a MIN/MAX view
+/// under a delete-heavy stream.
+fn bench_non_csmas_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("non_csmas_ablation");
+    group.sample_size(10);
+    let delete_heavy = UpdateMix {
+        delete_pct: 60,
+        update_pct: 0,
+    };
+    for (name, sql) in [
+        (
+            "csmas_only",
+            "CREATE VIEW v AS SELECT sale.productid, SUM(price) AS s, COUNT(*) AS n \
+             FROM sale GROUP BY sale.productid",
+        ),
+        (
+            "with_minmax",
+            "CREATE VIEW v AS SELECT sale.productid, MIN(price) AS lo, MAX(price) AS hi, \
+             COUNT(*) AS n FROM sale GROUP BY sale.productid",
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut loaded = setup_engine(params(), sql);
+                    let changes =
+                        sale_changes(&mut loaded.db, &loaded.schema, 200, delete_heavy, 3);
+                    (loaded, changes)
+                },
+                |(mut loaded, changes)| {
+                    loaded
+                        .engine
+                        .apply(loaded.schema.sale, black_box(&changes))
+                        .expect("maintains");
+                    loaded
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Regime ablation (paper Section 4, "old detail data"): the same MIN/MAX
+/// view maintained under the general regime (fact auxiliary view kept,
+/// loaded and updated) vs. the append-only regime (fact view eliminated,
+/// pure delta maintenance) over identical insert streams.
+fn bench_append_only_regime(c: &mut Criterion) {
+    use md_core::derive;
+    use md_maintain::MaintenanceEngine;
+    use md_relation::{row, Catalog, DataType, Database, Schema};
+    use md_sql::parse_view;
+
+    const VIEW: &str = "CREATE VIEW price_range AS \
+        SELECT sale.productid, MIN(sale.price) AS lo, MAX(sale.price) AS hi, \
+        COUNT(*) AS n FROM sale GROUP BY sale.productid";
+
+    let build = |insert_only: bool| -> (Catalog, Database) {
+        let mut cat = Catalog::new();
+        let sale = cat
+            .add_table(
+                "sale",
+                Schema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("productid", DataType::Int),
+                    ("price", DataType::Double),
+                ]),
+                0,
+            )
+            .expect("fresh");
+        if insert_only {
+            cat.set_insert_only(sale).expect("valid");
+        } else {
+            cat.set_updatable_columns(sale, &[2]).expect("valid");
+        }
+        let mut db = Database::new(cat.clone());
+        for k in 0..20_000i64 {
+            db.insert(sale, row![k + 1, k % 200 + 1, (k % 80) as f64 * 0.25])
+                .expect("fresh");
+        }
+        (cat, db)
+    };
+
+    let mut group = c.benchmark_group("append_only_regime");
+    group.sample_size(10);
+    for (label, insert_only) in [("general", false), ("append_only", true)] {
+        let (cat, db) = build(insert_only);
+        let sale = cat.table_id("sale").expect("exists");
+        group.bench_function(format!("load+insert1000/{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut db = db.clone();
+                    let view = parse_view(VIEW, &cat, "v").expect("parses");
+                    let plan = derive(&view, &cat).expect("derives");
+                    let mut engine = MaintenanceEngine::new(plan, &cat).expect("builds");
+                    engine.initial_load(&db).expect("loads");
+                    let mut changes = Vec::with_capacity(1000);
+                    for k in 0..1000i64 {
+                        changes.push(
+                            db.insert(sale, row![30_000 + k, k % 200 + 1, (k % 90) as f64 * 0.5])
+                                .expect("fresh"),
+                        );
+                    }
+                    (engine, changes)
+                },
+                |(mut engine, changes)| {
+                    engine.apply(sale, black_box(&changes)).expect("maintains");
+                    engine
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Ablation of the targeted dimension-update fast path: a brand rename on
+/// a large loaded engine, handled per-group via the fk index vs. by the
+/// conservative full rebuild from `X`.
+fn bench_dim_update_ablation(c: &mut Criterion) {
+    use md_core::derive;
+    use md_maintain::MaintenanceEngine;
+    use md_relation::{row, Catalog, Change, DataType, Database, Schema, Value};
+    use md_sql::parse_view;
+    use md_workload::product_brand_changes;
+
+    // --- CSMAS case: a dimension measure feeding a SUM -------------------
+    // Updating one product's weight shifts exactly the groups its sales
+    // fall into; the targeted path adjusts them in O(affected) while the
+    // conservative path rebuilds the whole summary.
+    let build_weight_case = || -> (Catalog, Database) {
+        let mut cat = Catalog::new();
+        let product = cat
+            .add_table(
+                "product",
+                Schema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("category", DataType::Str),
+                    ("weight", DataType::Double),
+                ]),
+                0,
+            )
+            .expect("fresh");
+        let sale = cat
+            .add_table(
+                "sale",
+                Schema::from_pairs(&[("id", DataType::Int), ("productid", DataType::Int)]),
+                0,
+            )
+            .expect("fresh");
+        cat.add_foreign_key(sale, 1, product).expect("typed");
+        cat.set_updatable_columns(product, &[2]).expect("valid"); // weight only
+        cat.set_updatable_columns(sale, &[]).expect("valid");
+        let mut db = Database::new(cat.clone());
+        db.set_enforce_ri(false);
+        for p in 0..500i64 {
+            db.insert(
+                product,
+                row![p + 1, format!("cat-{}", p % 20), (p % 40) as f64 * 0.25],
+            )
+            .expect("fresh");
+        }
+        for k in 0..50_000i64 {
+            db.insert(sale, row![k + 1, k % 500 + 1]).expect("fresh");
+        }
+        db.set_enforce_ri(true);
+        (cat, db)
+    };
+    const WEIGHT_VIEW: &str = "CREATE VIEW shipped AS \
+        SELECT product.category, SUM(product.weight) AS w, COUNT(*) AS n \
+        FROM sale, product WHERE sale.productid = product.id \
+        GROUP BY product.category";
+
+    let mut group = c.benchmark_group("dim_update_ablation_csmas");
+    group.sample_size(10);
+    let (cat, db) = build_weight_case();
+    let product = cat.table_id("product").expect("exists");
+    for (label, targeted) in [("targeted", true), ("full_rebuild", false)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut db = db.clone();
+                    let view = parse_view(WEIGHT_VIEW, &cat, "v").expect("parses");
+                    let plan = derive(&view, &cat).expect("derives");
+                    let mut engine = MaintenanceEngine::new(plan, &cat).expect("builds");
+                    engine.initial_load(&db).expect("loads");
+                    engine.set_targeted_updates(targeted);
+                    let mut changes: Vec<Change> = Vec::new();
+                    for p in 0..5i64 {
+                        let key = Value::Int(p * 97 + 1);
+                        let old = db.table(product).get(&key).expect("exists").clone();
+                        let mut vals = old.into_values();
+                        vals[2] = Value::Double(99.25);
+                        changes.push(
+                            db.update(product, &key, md_relation::Row::new(vals))
+                                .expect("weight updatable"),
+                        );
+                    }
+                    (engine, changes)
+                },
+                |(mut engine, changes)| {
+                    engine
+                        .apply(product, black_box(&changes))
+                        .expect("maintains");
+                    engine
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    let big = RetailParams {
+        days: 30,
+        stores: 6,
+        products: 300,
+        products_sold_per_day_per_store: 50,
+        transactions_per_product: 10,
+        start_year: 1996,
+        year_split: 15,
+        seed: 31,
+    };
+    let mut group = c.benchmark_group("dim_update_ablation");
+    group.sample_size(10);
+    for (label, targeted) in [("targeted", true), ("full_rebuild", false)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut loaded = setup_engine(big, views::PRODUCT_SALES_SQL);
+                    loaded.engine.set_targeted_updates(targeted);
+                    let changes = product_brand_changes(&mut loaded.db, &loaded.schema, 5, 17);
+                    (loaded, changes)
+                },
+                |(mut loaded, changes)| {
+                    loaded
+                        .engine
+                        .apply(loaded.schema.product, black_box(&changes))
+                        .expect("maintains");
+                    loaded
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_maintenance,
+    bench_non_csmas_ablation,
+    bench_append_only_regime,
+    bench_dim_update_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E1 — the Section 1.1 storage experiment as a benchmark: loading the
+//! scaled retail workload into the minimal detail representation, plus the
+//! analytic assertions matching the paper's arithmetic.
+//!
+//! An ablation compares initial load with and without join reductions
+//! (tight vs. default contracts disable the semijoins).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use md_core::{derive, human_bytes, RetailModel};
+use md_maintain::MaintenanceEngine;
+use md_sql::parse_view;
+use md_workload::{generate_retail, views, Contracts, RetailParams};
+
+fn bench_storage(c: &mut Criterion) {
+    // Paper-exact analytic checks (free, run once).
+    let m = RetailModel::paper();
+    assert_eq!(m.fact_rows(), 13_140_000_000);
+    assert_eq!(human_bytes(m.fact_bytes()), "245 GBytes");
+    assert_eq!(human_bytes(m.aux_bytes_worst_case()), "167 MBytes");
+
+    let params = RetailParams {
+        days: 30,
+        stores: 5,
+        products: 150,
+        products_sold_per_day_per_store: 40,
+        transactions_per_product: 20,
+        start_year: 1996,
+        year_split: 15,
+        seed: 1,
+    };
+
+    let mut group = c.benchmark_group("storage_initial_load");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(params.fact_rows()));
+
+    for (label, contracts) in [
+        ("with_join_reductions", Contracts::Tight),
+        ("without_join_reductions", Contracts::Default),
+    ] {
+        let (db, _) = generate_retail(params, contracts);
+        let cat = db.catalog().clone();
+        let view = parse_view(views::PRODUCT_SALES_SQL, &cat, "v").expect("resolves");
+        group.bench_with_input(BenchmarkId::new("load", label), &db, |b, db| {
+            b.iter(|| {
+                let plan = derive(&view, &cat).expect("derives");
+                let mut engine = MaintenanceEngine::new(plan, &cat).expect("builds");
+                engine.initial_load(black_box(db)).expect("loads");
+                engine.storage_report()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,287 @@
+//! `mindetail` — an interactive shell over the warehouse.
+//!
+//! Boots the simulated retail sources, then accepts GPSJ SQL and
+//! backslash commands on stdin (or from a script via `--script FILE`):
+//!
+//! ```text
+//! CREATE VIEW ... ;          register a summary view (GPSJ SQL)
+//! \tables                    list source tables and row counts
+//! \views                     list registered summaries
+//! \explain NAME              join graph + derived auxiliary views
+//! \rows NAME [N]             first N rows of a summary (default 10)
+//! \storage                   detail-data storage accounting
+//! \shared                    auxiliary views shared across summaries
+//! \churn N                   stream N random source changes through
+//! \verify                    oracle-check every summary (demo only)
+//! \save FILE | \restore FILE persist / recover the warehouse image
+//! \help | \quit
+//! ```
+//!
+//! Try: `cargo run -p md-bench --bin mindetail -- --demo`
+
+use std::io::{BufRead, Write};
+
+use md_core::human_bytes;
+use md_warehouse::Warehouse;
+use md_workload::{
+    generate_retail, sale_changes, views, Contracts, RetailParams, RetailSchema, UpdateMix,
+};
+
+struct Shell {
+    wh: Warehouse,
+    db: md_relation::Database,
+    schema: RetailSchema,
+    churn_seed: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (db, schema) = generate_retail(RetailParams::small(), Contracts::Tight);
+    let wh = Warehouse::new(db.catalog());
+    let mut shell = Shell {
+        wh,
+        db,
+        schema,
+        churn_seed: 1,
+    };
+
+    println!("mindetail — minimal detail data for GPSJ summary views (EDBT 1998)");
+    println!("sources: simulated retail star schema (sale, time, product, store)");
+    println!("type \\help for commands\n");
+
+    if args.iter().any(|a| a == "--demo") {
+        for cmd in [
+            views::PRODUCT_SALES_SQL,
+            "\\explain product_sales",
+            "\\churn 200",
+            "\\rows product_sales",
+            "\\storage",
+            "\\verify",
+        ] {
+            println!("mindetail> {cmd}");
+            shell.exec(cmd);
+        }
+        return;
+    }
+
+    let script = args
+        .iter()
+        .position(|a| a == "--script")
+        .and_then(|i| args.get(i + 1).cloned());
+    match script {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            for stmt in split_statements(&text) {
+                println!("mindetail> {stmt}");
+                shell.exec(&stmt);
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let mut buffer = String::new();
+            loop {
+                print!("mindetail> ");
+                std::io::stdout().flush().ok();
+                let mut line = String::new();
+                if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+                    break;
+                }
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                // SQL may span lines until a semicolon; commands are one line.
+                if line.starts_with('\\') {
+                    if line == "\\quit" || line == "\\q" {
+                        break;
+                    }
+                    shell.exec(line);
+                } else {
+                    buffer.push_str(line);
+                    buffer.push(' ');
+                    if line.ends_with(';') {
+                        let stmt = buffer.trim().trim_end_matches(';').to_owned();
+                        buffer.clear();
+                        shell.exec(&stmt);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Splits a script into statements: backslash commands are line-delimited,
+/// SQL is semicolon-delimited.
+fn split_statements(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut sql = String::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("--") {
+            continue;
+        }
+        if line.starts_with('\\') {
+            out.push(line.to_owned());
+        } else {
+            sql.push_str(line);
+            sql.push(' ');
+            if line.ends_with(';') {
+                out.push(sql.trim().trim_end_matches(';').to_owned());
+                sql.clear();
+            }
+        }
+    }
+    if !sql.trim().is_empty() {
+        out.push(sql.trim().to_owned());
+    }
+    out
+}
+
+impl Shell {
+    fn exec(&mut self, input: &str) {
+        let result = self.dispatch(input);
+        if let Err(msg) = result {
+            println!("error: {msg}");
+        }
+        println!();
+    }
+
+    fn dispatch(&mut self, input: &str) -> Result<(), String> {
+        if !input.starts_with('\\') {
+            let name = self
+                .wh
+                .add_summary_sql(input.trim_end_matches(';'), &self.db)
+                .map_err(|e| e.to_string())?;
+            println!("registered summary '{name}'");
+            return Ok(());
+        }
+        let mut parts = input.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let arg1 = parts.next();
+        let arg2 = parts.next();
+        match cmd {
+            "\\help" => {
+                println!(
+                    "CREATE VIEW ... ;  register a GPSJ summary view\n\
+                     \\tables  \\views  \\explain NAME  \\rows NAME [N]\n\
+                     \\storage  \\shared  \\churn N  \\verify\n\
+                     \\save FILE  \\restore FILE  \\quit"
+                );
+            }
+            "\\tables" => {
+                for t in self.db.catalog().table_ids() {
+                    let def = self.db.catalog().def(t).map_err(|e| e.to_string())?;
+                    println!(
+                        "{:<10} {:>8} rows  {}",
+                        def.name,
+                        self.db.table(t).len(),
+                        def.schema
+                    );
+                }
+            }
+            "\\views" => {
+                let names: Vec<&str> = self.wh.summaries().collect();
+                if names.is_empty() {
+                    println!("(no summaries registered)");
+                }
+                for n in names {
+                    println!("{n}");
+                }
+            }
+            "\\explain" => {
+                let name = arg1.ok_or("usage: \\explain NAME")?;
+                println!("{}", self.wh.explain(name).map_err(|e| e.to_string())?);
+            }
+            "\\rows" => {
+                let name = arg1.ok_or("usage: \\rows NAME [N]")?;
+                let limit: usize = arg2.and_then(|s| s.parse().ok()).unwrap_or(10);
+                let rows = self.wh.summary_rows(name).map_err(|e| e.to_string())?;
+                let total = rows.len();
+                for r in rows.into_iter().take(limit) {
+                    println!("{r}");
+                }
+                if total > limit {
+                    println!("… {} more rows", total - limit);
+                }
+            }
+            "\\storage" => {
+                let names: Vec<String> = self.wh.summaries().map(|s| s.to_owned()).collect();
+                for name in names {
+                    println!("summary '{name}':");
+                    for line in self.wh.storage_report(&name).map_err(|e| e.to_string())? {
+                        println!(
+                            "  {:<24} {:>10} rows  {:>12}",
+                            line.name,
+                            line.rows,
+                            human_bytes(line.paper_bytes)
+                        );
+                    }
+                }
+                println!(
+                    "total detail data: {}",
+                    human_bytes(self.wh.total_detail_bytes())
+                );
+            }
+            "\\shared" => {
+                let shared = self.wh.shared_detail_report();
+                if shared.is_empty() {
+                    println!("(no auxiliary views shared across summaries)");
+                }
+                for g in shared {
+                    println!(
+                        "{} over '{}' shared by [{}]: {} rows, dedup would save {}",
+                        g.aux_name,
+                        g.table,
+                        g.summaries.join(", "),
+                        g.rows,
+                        human_bytes(g.dedup_savings())
+                    );
+                }
+            }
+            "\\churn" => {
+                let n: usize = arg1
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("usage: \\churn N")?;
+                self.churn_seed += 1;
+                let changes = sale_changes(
+                    &mut self.db,
+                    &self.schema,
+                    n,
+                    UpdateMix::balanced(),
+                    self.churn_seed,
+                );
+                self.wh
+                    .apply(self.schema.sale, &changes)
+                    .map_err(|e| e.to_string())?;
+                println!("applied {n} random source changes (no base-table access)");
+            }
+            "\\verify" => {
+                let ok = self.wh.verify_all(&self.db).map_err(|e| e.to_string())?;
+                println!(
+                    "{}",
+                    if ok {
+                        "all summaries match recomputation"
+                    } else {
+                        "DIVERGENCE DETECTED"
+                    }
+                );
+            }
+            "\\save" => {
+                let path = arg1.ok_or("usage: \\save FILE")?;
+                let image = self.wh.save().map_err(|e| e.to_string())?;
+                std::fs::write(path, &image).map_err(|e| e.to_string())?;
+                println!("saved {} bytes to {path}", image.len());
+            }
+            "\\restore" => {
+                let path = arg1.ok_or("usage: \\restore FILE")?;
+                let image = std::fs::read(path).map_err(|e| e.to_string())?;
+                self.wh =
+                    Warehouse::restore(self.db.catalog(), &image).map_err(|e| e.to_string())?;
+                println!("restored {} summaries", self.wh.summaries().count());
+            }
+            other => return Err(format!("unknown command {other}; try \\help")),
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,123 @@
+//! E7 — Section 3.3: when can an auxiliary view be omitted?
+//!
+//! Sweeps the three elimination conditions of Algorithm 3.2 across view
+//! shapes and update contracts, printing for each case which auxiliary
+//! views are materialized and why the fact view was or was not eliminated.
+
+use md_bench::TableWriter;
+use md_core::{derive, AuxEntry};
+use md_relation::Catalog;
+use md_sql::parse_view;
+use md_workload::retail::{retail_catalog, Contracts};
+
+struct Case {
+    title: &'static str,
+    contracts: Contracts,
+    sql: &'static str,
+    expect_omitted: bool,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            title: "group by both dimension keys, tight contracts",
+            contracts: Contracts::Tight,
+            sql: "CREATE VIEW v AS SELECT time.id AS tid, product.id AS pid, \
+                  SUM(price) AS s, COUNT(*) AS n FROM sale, time, product \
+                  WHERE sale.timeid = time.id AND sale.productid = product.id \
+                  GROUP BY time.id, product.id",
+            expect_omitted: true,
+        },
+        Case {
+            title: "same + year filter, default contracts — time.year is exposed",
+            contracts: Contracts::Default,
+            sql: "CREATE VIEW v AS SELECT time.id AS tid, product.id AS pid, \
+                  SUM(price) AS s, COUNT(*) AS n FROM sale, time, product \
+                  WHERE sale.timeid = time.id AND sale.productid = product.id \
+                  AND time.year = 1997 \
+                  GROUP BY time.id, product.id",
+            expect_omitted: false,
+        },
+        Case {
+            title: "non-key dimension group-by — sale lands in time's Need set",
+            contracts: Contracts::Tight,
+            sql: "CREATE VIEW v AS SELECT time.month, SUM(price) AS s, COUNT(*) AS n \
+                  FROM sale, time WHERE sale.timeid = time.id GROUP BY time.month",
+            expect_omitted: false,
+        },
+        Case {
+            title: "key group-bys but MAX on the fact — non-CSMAS blocks elimination",
+            contracts: Contracts::Tight,
+            sql: "CREATE VIEW v AS SELECT time.id AS tid, product.id AS pid, \
+                  MAX(price) AS mx, COUNT(*) AS n FROM sale, time, product \
+                  WHERE sale.timeid = time.id AND sale.productid = product.id \
+                  GROUP BY time.id, product.id",
+            expect_omitted: false,
+        },
+        Case {
+            title: "single-table view with CSMAS aggregates only",
+            contracts: Contracts::Tight,
+            sql: "CREATE VIEW v AS SELECT sale.productid, SUM(price) AS s, COUNT(*) AS n \
+                  FROM sale GROUP BY sale.productid",
+            expect_omitted: true,
+        },
+        Case {
+            title: "single-table view with MIN — auxiliary view required",
+            contracts: Contracts::Tight,
+            sql: "CREATE VIEW v AS SELECT sale.productid, MIN(price) AS lo, COUNT(*) AS n \
+                  FROM sale GROUP BY sale.productid",
+            expect_omitted: false,
+        },
+    ]
+}
+
+fn describe(cat: &Catalog, sql: &str) -> (Vec<String>, Vec<String>) {
+    let view = parse_view(sql, cat, "v").expect("view resolves");
+    let plan = derive(&view, cat).expect("plan derives");
+    let mut materialized = Vec::new();
+    let mut omitted = Vec::new();
+    for entry in &plan.aux {
+        match entry {
+            AuxEntry::Materialized(def) => materialized.push(def.name.clone()),
+            AuxEntry::Omitted { table, .. } => {
+                omitted.push(cat.def(*table).map(|d| d.name.clone()).unwrap_or_default())
+            }
+        }
+    }
+    (materialized, omitted)
+}
+
+fn main() {
+    println!("== E7: auxiliary-view elimination (Section 3.3 / Algorithm 3.2) ==\n");
+    let mut t = TableWriter::new(&["case", "materialized", "omitted", "as expected"]);
+    for case in cases() {
+        let (cat, _) = retail_catalog(case.contracts);
+        let (materialized, omitted) = describe(&cat, case.sql);
+        let got_omitted = !omitted.is_empty();
+        t.row(&[
+            case.title.to_owned(),
+            materialized.join(", "),
+            if omitted.is_empty() {
+                "—".into()
+            } else {
+                omitted.join(", ")
+            },
+            if got_omitted == case.expect_omitted {
+                "yes".into()
+            } else {
+                "NO — MISMATCH".into()
+            },
+        ]);
+        assert_eq!(
+            got_omitted, case.expect_omitted,
+            "elimination mismatch for: {}",
+            case.title
+        );
+    }
+    println!("{}", t.render());
+    println!(
+        "elimination requires: transitive dependence on all tables (RI + no exposed\n\
+         updates on every edge), absence from every other table's Need set, and no\n\
+         non-CSMAS aggregate over the table's attributes."
+    );
+}

@@ -1,0 +1,30 @@
+//! # `md-bench` — the experiment harness
+//!
+//! Regenerates every quantitative artifact of the paper (see
+//! `EXPERIMENTS.md` at the repository root for the experiment index):
+//!
+//! | id | artifact | binary / bench |
+//! |----|----------|----------------|
+//! | E1 | §1.1 storage table (245 GB → 167 MB) | `report_storage` |
+//! | E2 | Table 1 (SMA/SMAS classification)    | `report_aggregates` |
+//! | E3 | Table 2 (CSMAS rewrites)             | `report_aggregates` |
+//! | E4 | Tables 3–4 (duplicate compression)   | `report_compression` |
+//! | E5 | Figure 2 (extended join graph)       | `report_joingraph` |
+//! | E6 | §3.2 `product_sales_max`             | `report_compression` |
+//! | E7 | §3.3 elimination conditions          | `report_elimination` |
+//! | E8 | compression sweep                    | `report_storage`, bench `compression_sweep` |
+//! | E9 | incremental vs. recomputation        | bench `maintenance` |
+//! | E10| GPSJ vs. PSJ detail data             | `report_storage`, bench `baseline_psj` |
+//!
+//! The report binaries print the same rows/series the paper reports; the
+//! Criterion benches measure the runtime claims (incremental maintenance
+//! beats recomputation, derivation is cheap).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::TableWriter;

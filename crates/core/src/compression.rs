@@ -1,0 +1,316 @@
+//! Local reduction + smart duplicate compression — paper Sections 2.2
+//! and 3.2 (Algorithm 3.1).
+//!
+//! Local reduction keeps, for table `Rᵢ`, only the attributes *preserved*
+//! in the view (after the Table 2 aggregate rewrite) or involved in join
+//! conditions, and pushes `Rᵢ`'s local selection conditions into the
+//! auxiliary view.
+//!
+//! Smart duplicate compression then exploits the duplicate-eliminating
+//! generalized projection:
+//!
+//! 1. include a `COUNT(*)` unless superfluous (the key of `Rᵢ` is retained,
+//!    so every group holds exactly one tuple), and
+//! 2. every retained attribute used in neither non-CSMASs, join conditions
+//!    nor group-by clauses is replaced by the appropriate `SUM` per Table 2.
+
+use std::collections::BTreeSet;
+
+use md_algebra::{GpsjView, SelectItem};
+use md_relation::{Catalog, TableId};
+
+use crate::aggregates::{self, Rewrite};
+use crate::error::Result;
+
+/// Which attributes of a table must be retained, and in what role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressionSpec {
+    /// Attributes stored raw, forming the auxiliary view's group-by key:
+    /// attributes in join conditions, in the view's group-by clause, or in
+    /// non-CSMAS aggregates. Sorted by source column index.
+    pub group_cols: Vec<usize>,
+    /// Attributes folded into per-group `SUM`s: used only in CSMAS
+    /// aggregates. Sorted by source column index.
+    pub sum_cols: Vec<usize>,
+    /// Whether a `COUNT(*)` column is included (step 1 of Algorithm 3.1).
+    pub include_count: bool,
+}
+
+/// The attribute roles of `table` with respect to `view`, after the Table 2
+/// rewrite. Computes local reduction (which attributes survive at all) and
+/// smart duplicate compression (raw vs. summed vs. counted) in one pass.
+pub fn compress(view: &GpsjView, catalog: &Catalog, table: TableId) -> Result<CompressionSpec> {
+    // --- Attributes that must stay raw -----------------------------------
+    let mut raw: BTreeSet<usize> = BTreeSet::new();
+    // join condition attributes (both fk side and key side);
+    raw.extend(view.join_columns_of(catalog, table)?);
+    // group-by attributes of the view;
+    raw.extend(view.group_by_columns_of(table));
+    // non-CSMAS aggregate arguments.
+    raw.extend(aggregates::non_csmas_columns(view, table));
+
+    // --- Attributes needed only as per-group SUMs ------------------------
+    // After the Table 2 rewrite, a CSMAS argument is needed iff the rewrite
+    // requests a SUM component (COUNT(a) → COUNT(*) drops the attribute).
+    let mut summed: BTreeSet<usize> = BTreeSet::new();
+    for item in &view.select {
+        if let SelectItem::Agg { agg, .. } = item {
+            if let (
+                Some(col),
+                Rewrite::Replaced {
+                    needs_sum: true, ..
+                },
+            ) = (agg.arg, aggregates::rewrite(agg))
+            {
+                if col.table == table && !raw.contains(&col.column) {
+                    summed.insert(col.column);
+                }
+            }
+        }
+    }
+
+    // --- Step 1: COUNT(*) unless superfluous -----------------------------
+    // COUNT(*) is superfluous exactly when the key of the table is among
+    // the raw columns: every group then holds one tuple and the auxiliary
+    // view degenerates into a PSJ view. In that case SUM replacement is
+    // superfluous too and the attributes stay raw.
+    let key_col = catalog.def(table)?.key_col;
+    if raw.contains(&key_col) {
+        raw.extend(summed.iter().copied());
+        return Ok(CompressionSpec {
+            group_cols: raw.into_iter().collect(),
+            sum_cols: Vec::new(),
+            include_count: false,
+        });
+    }
+
+    Ok(CompressionSpec {
+        group_cols: raw.into_iter().collect(),
+        sum_cols: summed.into_iter().collect(),
+        include_count: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_algebra::{AggFunc, Aggregate, CmpOp, ColRef, Condition, SelectItem};
+    use md_relation::{DataType, Schema};
+
+    struct Fx {
+        cat: Catalog,
+        time: TableId,
+        product: TableId,
+        sale: TableId,
+    }
+
+    fn fixture() -> Fx {
+        let mut cat = Catalog::new();
+        let time = cat
+            .add_table(
+                "time",
+                Schema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("month", DataType::Int),
+                    ("year", DataType::Int),
+                ]),
+                0,
+            )
+            .unwrap();
+        let product = cat
+            .add_table(
+                "product",
+                Schema::from_pairs(&[("id", DataType::Int), ("brand", DataType::Str)]),
+                0,
+            )
+            .unwrap();
+        let sale = cat
+            .add_table(
+                "sale",
+                Schema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("timeid", DataType::Int),
+                    ("productid", DataType::Int),
+                    ("storeid", DataType::Int),
+                    ("price", DataType::Double),
+                ]),
+                0,
+            )
+            .unwrap();
+        cat.add_foreign_key(sale, 1, time).unwrap();
+        cat.add_foreign_key(sale, 2, product).unwrap();
+        Fx {
+            cat,
+            time,
+            product,
+            sale,
+        }
+    }
+
+    fn product_sales(f: &Fx) -> GpsjView {
+        GpsjView::new(
+            "product_sales",
+            vec![f.sale, f.time, f.product],
+            vec![
+                SelectItem::group_by(ColRef::new(f.time, 1), "month"),
+                SelectItem::agg(
+                    Aggregate::of(AggFunc::Sum, ColRef::new(f.sale, 4)),
+                    "TotalPrice",
+                ),
+                SelectItem::agg(Aggregate::count_star(), "TotalCount"),
+                SelectItem::agg(
+                    Aggregate::distinct_of(AggFunc::Count, ColRef::new(f.product, 1)),
+                    "DifferentBrands",
+                ),
+            ],
+            vec![
+                Condition::cmp_lit(ColRef::new(f.time, 2), CmpOp::Eq, 1997i64),
+                Condition::eq_cols(ColRef::new(f.sale, 1), ColRef::new(f.time, 0)),
+                Condition::eq_cols(ColRef::new(f.sale, 2), ColRef::new(f.product, 0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn paper_sale_dtl_compression() {
+        // saleDTL: SELECT timeid, productid, SUM(price), COUNT(*) …
+        // GROUP BY timeid, productid (paper Section 1.1 / Table 4).
+        let f = fixture();
+        let v = product_sales(&f);
+        let spec = compress(&v, &f.cat, f.sale).unwrap();
+        assert_eq!(spec.group_cols, vec![1, 2]); // timeid, productid
+        assert_eq!(spec.sum_cols, vec![4]); // SUM(price)
+        assert!(spec.include_count);
+        // storeid and id are dropped by local reduction.
+        assert!(!spec.group_cols.contains(&3));
+        assert!(!spec.group_cols.contains(&0));
+    }
+
+    #[test]
+    fn paper_time_dtl_degenerates() {
+        // timeDTL: SELECT id, month — key retained, PSJ degeneration.
+        let f = fixture();
+        let v = product_sales(&f);
+        let spec = compress(&v, &f.cat, f.time).unwrap();
+        assert_eq!(spec.group_cols, vec![0, 1]); // id, month
+        assert!(spec.sum_cols.is_empty());
+        assert!(!spec.include_count);
+        // year is a local-condition-only attribute and is dropped.
+        assert!(!spec.group_cols.contains(&2));
+    }
+
+    #[test]
+    fn paper_product_dtl_degenerates() {
+        // productDTL: SELECT id, brand.
+        let f = fixture();
+        let v = product_sales(&f);
+        let spec = compress(&v, &f.cat, f.product).unwrap();
+        assert_eq!(spec.group_cols, vec![0, 1]);
+        assert!(spec.sum_cols.is_empty());
+        assert!(!spec.include_count);
+    }
+
+    #[test]
+    fn product_sales_max_keeps_price_raw() {
+        // Paper Section 3.2: MAX(price) + SUM(price) → price stays raw,
+        // COUNT(*) included; SUM recomputed as SUM(price·SaleCount).
+        let f = fixture();
+        let v = GpsjView::new(
+            "product_sales_max",
+            vec![f.sale],
+            vec![
+                SelectItem::group_by(ColRef::new(f.sale, 2), "productid"),
+                SelectItem::agg(
+                    Aggregate::of(AggFunc::Max, ColRef::new(f.sale, 4)),
+                    "MaxPrice",
+                ),
+                SelectItem::agg(
+                    Aggregate::of(AggFunc::Sum, ColRef::new(f.sale, 4)),
+                    "TotalPrice",
+                ),
+                SelectItem::agg(Aggregate::count_star(), "TotalCount"),
+            ],
+            vec![],
+        );
+        let spec = compress(&v, &f.cat, f.sale).unwrap();
+        assert_eq!(spec.group_cols, vec![2, 4]); // productid, price (raw)
+        assert!(spec.sum_cols.is_empty());
+        assert!(spec.include_count);
+    }
+
+    #[test]
+    fn count_a_drops_the_attribute() {
+        // COUNT(price) rewrites to COUNT(*): price not stored at all.
+        let f = fixture();
+        let v = GpsjView::new(
+            "counts",
+            vec![f.sale],
+            vec![
+                SelectItem::group_by(ColRef::new(f.sale, 2), "productid"),
+                SelectItem::agg(Aggregate::of(AggFunc::Count, ColRef::new(f.sale, 4)), "n"),
+            ],
+            vec![],
+        );
+        let spec = compress(&v, &f.cat, f.sale).unwrap();
+        assert_eq!(spec.group_cols, vec![2]);
+        assert!(spec.sum_cols.is_empty());
+        assert!(spec.include_count);
+    }
+
+    #[test]
+    fn root_key_in_group_by_degenerates_root() {
+        let f = fixture();
+        let v = GpsjView::new(
+            "by_sale",
+            vec![f.sale],
+            vec![
+                SelectItem::group_by(ColRef::new(f.sale, 0), "id"),
+                SelectItem::agg(Aggregate::of(AggFunc::Sum, ColRef::new(f.sale, 4)), "p"),
+            ],
+            vec![],
+        );
+        let spec = compress(&v, &f.cat, f.sale).unwrap();
+        // Key retained → degenerate: price stays raw, no count.
+        assert_eq!(spec.group_cols, vec![0, 4]);
+        assert!(spec.sum_cols.is_empty());
+        assert!(!spec.include_count);
+    }
+
+    #[test]
+    fn avg_needs_sum_component() {
+        let f = fixture();
+        let v = GpsjView::new(
+            "avgs",
+            vec![f.sale],
+            vec![
+                SelectItem::group_by(ColRef::new(f.sale, 2), "productid"),
+                SelectItem::agg(Aggregate::of(AggFunc::Avg, ColRef::new(f.sale, 4)), "avgp"),
+            ],
+            vec![],
+        );
+        let spec = compress(&v, &f.cat, f.sale).unwrap();
+        assert_eq!(spec.sum_cols, vec![4]);
+        assert!(spec.include_count);
+    }
+
+    #[test]
+    fn distinct_sum_keeps_attribute_raw() {
+        let f = fixture();
+        let v = GpsjView::new(
+            "dsum",
+            vec![f.sale],
+            vec![
+                SelectItem::group_by(ColRef::new(f.sale, 2), "productid"),
+                SelectItem::agg(
+                    Aggregate::distinct_of(AggFunc::Sum, ColRef::new(f.sale, 4)),
+                    "dp",
+                ),
+            ],
+            vec![],
+        );
+        let spec = compress(&v, &f.cat, f.sale).unwrap();
+        assert!(spec.group_cols.contains(&4));
+        assert!(spec.sum_cols.is_empty());
+        assert!(spec.include_count);
+    }
+}

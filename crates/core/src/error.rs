@@ -1,0 +1,102 @@
+//! Error type for the derivation layer.
+
+use std::fmt;
+
+use md_algebra::AlgebraError;
+use md_relation::RelationError;
+
+/// Result alias used throughout `md-core`.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+/// Errors raised while deriving auxiliary views.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The view's extended join graph is not a tree (Section 3.3 assumes a
+    /// tree: at most one edge into any vertex, no cycles, no self-joins).
+    NotATree {
+        /// The view involved.
+        view: String,
+        /// Explanation of the violation.
+        detail: String,
+    },
+    /// The view contains superfluous aggregates, which Section 2.1 assumes
+    /// away; the offending output aliases are listed.
+    SuperfluousAggregates {
+        /// The view involved.
+        view: String,
+        /// Output aliases of the superfluous aggregates.
+        aliases: Vec<String>,
+    },
+    /// Error bubbled up from the algebra layer.
+    Algebra(AlgebraError),
+    /// Error bubbled up from the storage layer.
+    Relation(RelationError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotATree { view, detail } => {
+                write!(f, "extended join graph of '{view}' is not a tree: {detail}")
+            }
+            CoreError::SuperfluousAggregates { view, aliases } => {
+                write!(
+                    f,
+                    "view '{view}' contains superfluous aggregates ({}) — replace them by \
+                     the plain attribute (paper Section 2.1 assumption)",
+                    aliases.join(", ")
+                )
+            }
+            CoreError::Algebra(e) => write!(f, "{e}"),
+            CoreError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Algebra(e) => Some(e),
+            CoreError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgebraError> for CoreError {
+    fn from(e: AlgebraError) -> Self {
+        CoreError::Algebra(e)
+    }
+}
+
+impl From<RelationError> for CoreError {
+    fn from(e: RelationError) -> Self {
+        CoreError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_work() {
+        let e: CoreError = RelationError::NullNotSupported.into();
+        assert!(matches!(e, CoreError::Relation(_)));
+        let e: CoreError = AlgebraError::InvalidView {
+            view: "v".into(),
+            detail: "d".into(),
+        }
+        .into();
+        assert!(matches!(e, CoreError::Algebra(_)));
+    }
+
+    #[test]
+    fn display_mentions_view() {
+        let e = CoreError::NotATree {
+            view: "v".into(),
+            detail: "cycle".into(),
+        };
+        assert!(e.to_string().contains("'v'"));
+    }
+}

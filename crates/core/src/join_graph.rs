@@ -1,0 +1,547 @@
+//! Extended join graphs — paper Definition 2 and Figure 2.
+//!
+//! Given a GPSJ view `V`, the extended join graph `G(V)` is a directed graph
+//! over the referenced base tables with an edge `e(Rᵢ, Rⱼ)` for every join
+//! condition `Rᵢ.b = Rⱼ.a` with `a` the key of `Rⱼ`. A vertex is annotated
+//! `g` when the table contributes group-by attributes, and `k` when one of
+//! those attributes is the table's key.
+//!
+//! The paper assumes the graph is a **tree** (at most one edge into any
+//! vertex, no cycles, no self-joins), which covers star and snowflake
+//! schemas; [`ExtendedJoinGraph::build`] validates this. The table at the
+//! tree's root is the *root table* `R₀` — the fact table in a star schema.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use md_algebra::GpsjView;
+use md_relation::{Catalog, TableId};
+
+use crate::error::{CoreError, Result};
+use crate::exposure::has_exposed_updates;
+
+/// A directed edge `e(from, to)` induced by the join condition
+/// `from.fk_col = to.key_col` (with `key_col` the key of `to`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// The referencing (foreign-key side) table.
+    pub from: TableId,
+    /// The foreign-key column on `from`.
+    pub fk_col: usize,
+    /// The referenced (key side) table.
+    pub to: TableId,
+    /// The key column on `to`.
+    pub key_col: usize,
+}
+
+/// Vertex annotation per Definition 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Annotation {
+    /// No group-by attribute comes from this table.
+    None,
+    /// The table contributes group-by attributes (`g`).
+    Group,
+    /// One of the contributed group-by attributes is the table's key (`k`).
+    Key,
+}
+
+impl Annotation {
+    /// Returns `true` for `g` or `k`.
+    pub fn is_grouped(self) -> bool {
+        !matches!(self, Annotation::None)
+    }
+}
+
+/// The extended join graph of a GPSJ view, validated to be a tree.
+#[derive(Debug, Clone)]
+pub struct ExtendedJoinGraph {
+    tables: Vec<TableId>,
+    edges: Vec<JoinEdge>,
+    annotations: Vec<Annotation>,
+    root: TableId,
+}
+
+impl ExtendedJoinGraph {
+    /// Builds and validates the extended join graph of `view`.
+    pub fn build(view: &GpsjView, catalog: &Catalog) -> Result<Self> {
+        view.validate(catalog)?;
+        let tables = view.tables.clone();
+        let not_a_tree = |detail: String| CoreError::NotATree {
+            view: view.name.clone(),
+            detail,
+        };
+
+        // Edges from join conditions, oriented fk -> key.
+        let mut edges: Vec<JoinEdge> = Vec::new();
+        for (fk, key) in view.join_conditions(catalog)? {
+            let key_col = catalog.def(key.table)?.key_col;
+            debug_assert_eq!(key_col, key.column, "join_pair returns the key side");
+            let edge = JoinEdge {
+                from: fk.table,
+                fk_col: fk.column,
+                to: key.table,
+                key_col: key.column,
+            };
+            if !edges.contains(&edge) {
+                edges.push(edge);
+            }
+        }
+
+        // Tree validation: at most one incoming edge per vertex.
+        for &t in &tables {
+            let incoming = edges.iter().filter(|e| e.to == t).count();
+            if incoming > 1 {
+                let name = catalog.def(t)?.name.clone();
+                return Err(not_a_tree(format!(
+                    "table '{name}' has {incoming} incoming join edges"
+                )));
+            }
+        }
+
+        // Exactly one root (vertex with no incoming edge).
+        let roots: Vec<TableId> = tables
+            .iter()
+            .copied()
+            .filter(|t| !edges.iter().any(|e| e.to == *t))
+            .collect();
+        let root = match roots.as_slice() {
+            [r] => *r,
+            [] => {
+                return Err(not_a_tree(
+                    "every table has an incoming edge (the join graph contains a cycle)".into(),
+                ))
+            }
+            many => {
+                let names: Vec<String> = many
+                    .iter()
+                    .map(|t| catalog.def(*t).map(|d| d.name.clone()).unwrap_or_default())
+                    .collect();
+                return Err(not_a_tree(format!(
+                    "the join graph is disconnected; candidate roots: {}",
+                    names.join(", ")
+                )));
+            }
+        };
+
+        // Reachability: the root must reach every table (rules out cycles
+        // hanging off the tree).
+        let mut reached = BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(t) = stack.pop() {
+            if reached.insert(t) {
+                for e in edges.iter().filter(|e| e.from == t) {
+                    stack.push(e.to);
+                }
+            }
+        }
+        if reached.len() != tables.len() {
+            return Err(not_a_tree(
+                "not all tables are reachable from the root".into(),
+            ));
+        }
+
+        // Annotations.
+        let annotations = tables
+            .iter()
+            .map(|&t| {
+                let group_cols = view.group_by_columns_of(t);
+                let key_col = catalog.def(t)?.key_col;
+                Ok(if group_cols.contains(&key_col) {
+                    Annotation::Key
+                } else if !group_cols.is_empty() {
+                    Annotation::Group
+                } else {
+                    Annotation::None
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        Ok(ExtendedJoinGraph {
+            tables,
+            edges,
+            annotations,
+            root,
+        })
+    }
+
+    /// The root table `R₀` (the fact table in a star schema).
+    pub fn root(&self) -> TableId {
+        self.root
+    }
+
+    /// All tables, in view order.
+    pub fn tables(&self) -> &[TableId] {
+        &self.tables
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[JoinEdge] {
+        &self.edges
+    }
+
+    /// The annotation of `table`.
+    pub fn annotation(&self, table: TableId) -> Annotation {
+        self.tables
+            .iter()
+            .position(|&t| t == table)
+            .map(|i| self.annotations[i])
+            .unwrap_or(Annotation::None)
+    }
+
+    /// Outgoing edges of `table` (toward its children).
+    pub fn children(&self, table: TableId) -> impl Iterator<Item = &JoinEdge> {
+        self.edges.iter().filter(move |e| e.from == table)
+    }
+
+    /// The edge into `table`, if it is not the root.
+    pub fn parent_edge(&self, table: TableId) -> Option<&JoinEdge> {
+        self.edges.iter().find(|e| e.to == table)
+    }
+
+    /// All tables in the subtree rooted at `table` (inclusive), in DFS
+    /// preorder.
+    pub fn subtree(&self, table: TableId) -> Vec<TableId> {
+        let mut out = Vec::new();
+        let mut stack = vec![table];
+        while let Some(t) = stack.pop() {
+            out.push(t);
+            for e in self.children(t) {
+                stack.push(e.to);
+            }
+        }
+        out
+    }
+
+    /// Renders the graph in the style of the paper's Figure 2, e.g.
+    /// `sale -> time(g), sale -> product`.
+    pub fn display(&self, catalog: &Catalog) -> String {
+        let name = |t: TableId| -> String {
+            catalog
+                .def(t)
+                .map(|d| d.name.clone())
+                .unwrap_or_else(|_| t.to_string())
+        };
+        let annot = |t: TableId| -> &'static str {
+            match self.annotation(t) {
+                Annotation::None => "",
+                Annotation::Group => "(g)",
+                Annotation::Key => "(k)",
+            }
+        };
+        if self.edges.is_empty() {
+            return format!("{}{}", name(self.root), annot(self.root));
+        }
+        let mut parts: Vec<String> = self
+            .edges
+            .iter()
+            .map(|e| {
+                format!(
+                    "{}{} -> {}{}",
+                    name(e.from),
+                    annot(e.from),
+                    name(e.to),
+                    annot(e.to)
+                )
+            })
+            .collect();
+        parts.sort();
+        parts.join(", ")
+    }
+
+    /// Renders the graph in Graphviz DOT format (for the report binaries).
+    pub fn to_dot(&self, catalog: &Catalog) -> String {
+        let mut s = String::from("digraph joingraph {\n");
+        for &t in &self.tables {
+            let label = catalog
+                .def(t)
+                .map(|d| d.name.clone())
+                .unwrap_or_else(|_| t.to_string());
+            let suffix = match self.annotation(t) {
+                Annotation::None => String::new(),
+                Annotation::Group => " [g]".into(),
+                Annotation::Key => " [k]".into(),
+            };
+            let _ = writeln!(s, "  {t} [label=\"{label}{suffix}\"];");
+        }
+        for e in &self.edges {
+            let _ = writeln!(s, "  {} -> {};", e.from, e.to);
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Returns `true` when `edge.from` *depends on* `edge.to` (Section 2.2):
+/// the join is on the key of `edge.to` (guaranteed by construction),
+/// referential integrity is declared from `from.fk_col` to `to`, and
+/// `edge.to` has no exposed updates with respect to `view`.
+pub fn edge_is_dependency(view: &GpsjView, catalog: &Catalog, edge: &JoinEdge) -> Result<bool> {
+    let ri_declared = catalog
+        .foreign_key(edge.from, edge.fk_col, edge.to)
+        .is_some();
+    Ok(ri_declared && !has_exposed_updates(view, catalog, edge.to)?)
+}
+
+/// The tables that `table` directly depends on (targets of its dependency
+/// edges) — the semijoin-reduction partners of its auxiliary view.
+pub fn direct_dependencies(
+    view: &GpsjView,
+    catalog: &Catalog,
+    graph: &ExtendedJoinGraph,
+    table: TableId,
+) -> Result<Vec<TableId>> {
+    let mut deps = Vec::new();
+    for e in graph.children(table) {
+        if edge_is_dependency(view, catalog, e)? {
+            deps.push(e.to);
+        }
+    }
+    Ok(deps)
+}
+
+/// Returns `true` when `table` *transitively depends on all other* base
+/// tables of the view — the first elimination condition of Algorithm 3.2.
+pub fn transitively_depends_on_all(
+    view: &GpsjView,
+    catalog: &Catalog,
+    graph: &ExtendedJoinGraph,
+    table: TableId,
+) -> Result<bool> {
+    let mut reached = BTreeSet::new();
+    let mut stack = vec![table];
+    while let Some(t) = stack.pop() {
+        if reached.insert(t) {
+            for dep in direct_dependencies(view, catalog, graph, t)? {
+                stack.push(dep);
+            }
+        }
+    }
+    Ok(reached.len() == graph.tables().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_algebra::{AggFunc, Aggregate, CmpOp, ColRef, Condition, SelectItem};
+    use md_relation::{DataType, Schema};
+
+    /// The paper's running example: sale -> time(g), sale -> product.
+    fn paper_setup() -> (Catalog, TableId, TableId, TableId, GpsjView) {
+        let mut cat = Catalog::new();
+        let time = cat
+            .add_table(
+                "time",
+                Schema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("month", DataType::Int),
+                    ("year", DataType::Int),
+                ]),
+                0,
+            )
+            .unwrap();
+        let product = cat
+            .add_table(
+                "product",
+                Schema::from_pairs(&[("id", DataType::Int), ("brand", DataType::Str)]),
+                0,
+            )
+            .unwrap();
+        let sale = cat
+            .add_table(
+                "sale",
+                Schema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("timeid", DataType::Int),
+                    ("productid", DataType::Int),
+                    ("price", DataType::Double),
+                ]),
+                0,
+            )
+            .unwrap();
+        cat.add_foreign_key(sale, 1, time).unwrap();
+        cat.add_foreign_key(sale, 2, product).unwrap();
+        let view = GpsjView::new(
+            "product_sales",
+            vec![sale, time, product],
+            vec![
+                SelectItem::group_by(ColRef::new(time, 1), "month"),
+                SelectItem::agg(
+                    Aggregate::of(AggFunc::Sum, ColRef::new(sale, 3)),
+                    "TotalPrice",
+                ),
+                SelectItem::agg(Aggregate::count_star(), "TotalCount"),
+                SelectItem::agg(
+                    Aggregate::distinct_of(AggFunc::Count, ColRef::new(product, 1)),
+                    "DifferentBrands",
+                ),
+            ],
+            vec![
+                Condition::cmp_lit(ColRef::new(time, 2), CmpOp::Eq, 1997i64),
+                Condition::eq_cols(ColRef::new(sale, 1), ColRef::new(time, 0)),
+                Condition::eq_cols(ColRef::new(sale, 2), ColRef::new(product, 0)),
+            ],
+        );
+        (cat, time, product, sale, view)
+    }
+
+    #[test]
+    fn figure2_graph_structure() {
+        let (cat, time, product, sale, view) = paper_setup();
+        let g = ExtendedJoinGraph::build(&view, &cat).unwrap();
+        assert_eq!(g.root(), sale);
+        assert_eq!(g.edges().len(), 2);
+        assert!(g.parent_edge(sale).is_none());
+        assert_eq!(g.parent_edge(time).unwrap().from, sale);
+        assert_eq!(g.parent_edge(product).unwrap().from, sale);
+        // Figure 2 annotations: Sale unannotated, Time g, Product unannotated.
+        assert_eq!(g.annotation(sale), Annotation::None);
+        assert_eq!(g.annotation(time), Annotation::Group);
+        assert_eq!(g.annotation(product), Annotation::None);
+        assert_eq!(g.display(&cat), "sale -> product, sale -> time(g)");
+    }
+
+    #[test]
+    fn key_annotation_when_key_grouped() {
+        let (cat, time, product, sale, mut view) = paper_setup();
+        let _ = product;
+        // Group by time.id instead of time.month.
+        view.select[0] = SelectItem::group_by(ColRef::new(time, 0), "timeid");
+        let g = ExtendedJoinGraph::build(&view, &cat).unwrap();
+        assert_eq!(g.annotation(time), Annotation::Key);
+        assert_eq!(g.annotation(sale), Annotation::None);
+        assert!(g.annotation(time).is_grouped());
+    }
+
+    #[test]
+    fn subtree_enumeration() {
+        let (cat, time, product, sale, view) = paper_setup();
+        let g = ExtendedJoinGraph::build(&view, &cat).unwrap();
+        let mut sub = g.subtree(sale);
+        sub.sort();
+        let mut all = vec![sale, time, product];
+        all.sort();
+        assert_eq!(sub, all);
+        assert_eq!(g.subtree(time), vec![time]);
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let (cat, time, product, sale, mut view) = paper_setup();
+        let _ = (time, sale);
+        // Remove the product join: product becomes a second root.
+        view.conditions
+            .retain(|c| !c.columns().iter().any(|col| col.table == product) || c.is_local());
+        let e = ExtendedJoinGraph::build(&view, &cat).unwrap_err();
+        assert!(matches!(e, CoreError::NotATree { .. }));
+    }
+
+    #[test]
+    fn double_parent_rejected() {
+        // a -> c, b -> c: two incoming edges into c.
+        let mut cat = Catalog::new();
+        let c = cat
+            .add_table("c", Schema::from_pairs(&[("id", DataType::Int)]), 0)
+            .unwrap();
+        let a = cat
+            .add_table(
+                "a",
+                Schema::from_pairs(&[("id", DataType::Int), ("cid", DataType::Int)]),
+                0,
+            )
+            .unwrap();
+        let b = cat
+            .add_table(
+                "b",
+                Schema::from_pairs(&[("id", DataType::Int), ("cid", DataType::Int)]),
+                0,
+            )
+            .unwrap();
+        let view = GpsjView::new(
+            "v",
+            vec![a, b, c],
+            vec![SelectItem::agg(Aggregate::count_star(), "n")],
+            vec![
+                Condition::eq_cols(ColRef::new(a, 1), ColRef::new(c, 0)),
+                Condition::eq_cols(ColRef::new(b, 1), ColRef::new(c, 0)),
+            ],
+        );
+        let e = ExtendedJoinGraph::build(&view, &cat).unwrap_err();
+        assert!(matches!(e, CoreError::NotATree { .. }));
+    }
+
+    #[test]
+    fn single_table_graph() {
+        let mut cat = Catalog::new();
+        let t = cat
+            .add_table(
+                "t",
+                Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Int)]),
+                0,
+            )
+            .unwrap();
+        let view = GpsjView::new(
+            "v",
+            vec![t],
+            vec![
+                SelectItem::group_by(ColRef::new(t, 1), "x"),
+                SelectItem::agg(Aggregate::count_star(), "n"),
+            ],
+            vec![],
+        );
+        let g = ExtendedJoinGraph::build(&view, &cat).unwrap();
+        assert_eq!(g.root(), t);
+        assert!(g.edges().is_empty());
+        assert_eq!(g.display(&cat), "t(g)");
+    }
+
+    #[test]
+    fn dependencies_require_ri_and_no_exposure() {
+        let (mut cat, time, product, sale, view) = paper_setup();
+        let g = ExtendedJoinGraph::build(&view, &cat).unwrap();
+        // With the default (pessimistic) update contract, time.year is
+        // exposed, so sale does not depend on time; product has no condition
+        // columns other than its key, which is never updatable → depends.
+        let deps = direct_dependencies(&view, &cat, &g, sale).unwrap();
+        assert_eq!(deps, vec![product]);
+        assert!(!transitively_depends_on_all(&view, &cat, &g, sale).unwrap());
+
+        // Declaring time append-only removes the exposure.
+        cat.set_append_only(time).unwrap();
+        let deps = direct_dependencies(&view, &cat, &g, sale).unwrap();
+        assert_eq!(deps.len(), 2);
+        assert!(transitively_depends_on_all(&view, &cat, &g, sale).unwrap());
+        // Dimensions never transitively depend on all (no outgoing edges).
+        assert!(!transitively_depends_on_all(&view, &cat, &g, time).unwrap());
+    }
+
+    #[test]
+    fn missing_ri_breaks_dependency() {
+        let (mut cat, time, product, sale, view) = paper_setup();
+        cat.set_append_only(time).unwrap();
+        cat.set_append_only(product).unwrap();
+        // Build an identical catalog but without the sale->product FK.
+        let mut cat2 = Catalog::new();
+        for t in [time, product, sale] {
+            let d = cat.def(t).unwrap();
+            cat2.add_table(d.name.clone(), d.schema.clone(), d.key_col)
+                .unwrap();
+        }
+        cat2.add_foreign_key(sale, 1, time).unwrap();
+        cat2.set_append_only(time).unwrap();
+        cat2.set_append_only(product).unwrap();
+        let g = ExtendedJoinGraph::build(&view, &cat2).unwrap();
+        let deps = direct_dependencies(&view, &cat2, &g, sale).unwrap();
+        assert_eq!(deps, vec![time]);
+    }
+
+    #[test]
+    fn dot_output_contains_vertices_and_edges() {
+        let (cat, _, _, _, view) = paper_setup();
+        let g = ExtendedJoinGraph::build(&view, &cat).unwrap();
+        let dot = g.to_dot(&cat);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("sale"));
+        assert!(dot.contains("->"));
+        assert!(dot.contains("[g]"));
+    }
+}

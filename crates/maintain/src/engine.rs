@@ -1,0 +1,1148 @@
+//! The self-maintenance engine.
+//!
+//! A [`MaintenanceEngine`] owns the materialized auxiliary views `X` and
+//! summary view `V` of one derived plan and keeps `{V} ∪ X` consistent
+//! under source change streams **without ever reading the base tables**
+//! (the defining property of self-maintainability, paper Section 2.2). The
+//! only base-table access in its lifetime is [`MaintenanceEngine::
+//! initial_load`], which corresponds to the warehouse's initial load.
+//!
+//! Change handling:
+//!
+//! * **Root (fact) table deltas** are applied incrementally: each row is
+//!   filtered by the root's local conditions, joined to the *auxiliary*
+//!   dimension views by key lookups, folded into `X_{R₀}` (respecting its
+//!   semijoin reductions) and into the affected summary group. CSMAS
+//!   aggregates adjust in O(1); deleting a group's `MIN`/`MAX` extremum or
+//!   touching a `DISTINCT` aggregate recomputes just that group from `X`
+//!   via the [`GroupIndex`].
+//! * **Dimension inserts/deletes on dependency edges** (key join +
+//!   referential integrity + no exposed updates) provably cannot change
+//!   `V` or any other auxiliary view (Section 2.2) — only the dimension's
+//!   own store is updated.
+//! * **Dimension updates, and any change on a non-dependency edge**, can
+//!   reshape existing join results; the engine updates the dimension store
+//!   and conservatively rebuilds `V` from `X` (never from the sources).
+//!   When the root auxiliary view was eliminated, the same repair is done
+//!   from the group keys and dimension stores alone
+//!   (the group-remap logic), which the
+//!   elimination conditions guarantee to be sufficient.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use md_algebra::{eval_view, ColRef, GpsjView, RowEnv, SelectItem};
+use md_core::{edge_is_dependency, AuxViewDef, DerivedPlan};
+use md_relation::{Bag, Catalog, Change, Database, Row, TableId, Value};
+
+use crate::error::{MaintainError, Result};
+use crate::reconstruct::{distinct_value, GroupIndex, ReconExecutor};
+use crate::resolve::{resolve_from, Binding, Resolution};
+use crate::store::AuxStore;
+use crate::summary::{AggState, GroupState, SummaryStore};
+
+/// Counters describing the work the engine has done — the measurements
+/// behind the maintenance-cost experiments (E9).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintStats {
+    /// Source delta rows processed (after update splitting).
+    pub rows_processed: u64,
+    /// Summary groups whose non-CSMAS aggregates were recomputed from `X`.
+    pub groups_recomputed: u64,
+    /// Full summary rebuilds from `X` (conservative dimension paths).
+    pub summary_rebuilds: u64,
+    /// Dimension changes proven to be no-ops on `V` (dependency edges).
+    pub dim_noop_changes: u64,
+    /// Dimension updates handled by the targeted fast path (per-group
+    /// adjustment via the foreign-key index) instead of a full rebuild.
+    pub dim_targeted_updates: u64,
+}
+
+/// Storage accounting for one materialized object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageLine {
+    /// Object name (auxiliary view or summary name).
+    pub name: String,
+    /// Stored tuples.
+    pub rows: u64,
+    /// Bytes in the paper's `fields × 4 bytes` model.
+    pub paper_bytes: u64,
+}
+
+/// The self-maintenance engine for one derived plan.
+pub struct MaintenanceEngine {
+    catalog: Catalog,
+    plan: DerivedPlan,
+    aux: BTreeMap<TableId, AuxStore>,
+    summary: SummaryStore,
+    /// Summary group → contributing root auxiliary tuples (reference
+    /// counted). Maintained only while the root auxiliary view exists.
+    group_index: GroupIndex,
+    /// Child table → whether its incoming edge is a dependency edge.
+    dependency_edge: HashMap<TableId, bool>,
+    /// Per direct root→child dependency edge: child key value → root
+    /// auxiliary group keys referencing it. Powers the targeted
+    /// dimension-update fast path. Rebuilt after loads and rebuilds.
+    fk_index: HashMap<TableId, HashMap<Value, HashSet<Row>>>,
+    /// Groups with stale non-CSMAS values awaiting recomputation,
+    /// collected per batch: group key → stale aggregate item indices.
+    dirty: HashMap<Row, HashSet<usize>>,
+    /// Ablation switch: when false, dimension updates always take the
+    /// conservative full-repair path instead of the targeted one.
+    targeted_updates: bool,
+    stats: MaintStats,
+}
+
+impl MaintenanceEngine {
+    /// Creates an empty engine for `plan`.
+    pub fn new(plan: DerivedPlan, catalog: &Catalog) -> Result<Self> {
+        let mut aux = BTreeMap::new();
+        for def in plan.materialized() {
+            aux.insert(def.table, AuxStore::new(def.clone(), catalog)?);
+        }
+        let mut dependency_edge = HashMap::new();
+        for edge in plan.graph.edges() {
+            dependency_edge.insert(edge.to, edge_is_dependency(&plan.view, catalog, edge)?);
+        }
+        let summary = SummaryStore::new(&plan.view);
+        Ok(MaintenanceEngine {
+            catalog: catalog.clone(),
+            plan,
+            aux,
+            summary,
+            group_index: GroupIndex::new(),
+            dependency_edge,
+            fk_index: HashMap::new(),
+            dirty: HashMap::new(),
+            targeted_updates: true,
+            stats: MaintStats::default(),
+        })
+    }
+
+    /// The derived plan this engine maintains.
+    pub fn plan(&self) -> &DerivedPlan {
+        &self.plan
+    }
+
+    /// The maintained summary view.
+    pub fn summary(&self) -> &SummaryStore {
+        &self.summary
+    }
+
+    /// The maintained summary contents as output rows.
+    pub fn summary_bag(&self) -> Result<Bag> {
+        self.summary.to_bag()
+    }
+
+    /// The auxiliary store of `table`, if materialized.
+    pub fn aux_store(&self, table: TableId) -> Option<&AuxStore> {
+        self.aux.get(&table)
+    }
+
+    /// All auxiliary stores.
+    pub fn aux_stores(&self) -> impl Iterator<Item = &AuxStore> {
+        self.aux.values()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> MaintStats {
+        self.stats
+    }
+
+    /// Enables/disables the targeted dimension-update fast path (enabled
+    /// by default). Disabling forces every dimension update through the
+    /// conservative full repair — the ablation knob behind the
+    /// `dim_update_ablation` bench.
+    pub fn set_targeted_updates(&mut self, enabled: bool) {
+        self.targeted_updates = enabled;
+    }
+
+    /// Overwrites the counters (snapshot restore).
+    pub(crate) fn set_stats(&mut self, stats: MaintStats) {
+        self.stats = stats;
+    }
+
+    /// Installs one auxiliary group (snapshot restore).
+    pub(crate) fn install_aux_group(
+        &mut self,
+        table: TableId,
+        key: Row,
+        state: crate::store::AuxGroupState,
+    ) -> Result<()> {
+        let store = self.aux.get_mut(&table).ok_or_else(|| {
+            MaintainError::InvariantViolation(format!(
+                "snapshot contains auxiliary data for {table}, which this plan does not                  materialize"
+            ))
+        })?;
+        store.install_group(key, state);
+        Ok(())
+    }
+
+    /// Installs one summary group (snapshot restore).
+    pub(crate) fn install_summary_group(&mut self, key: Row, state: GroupState) {
+        self.summary.install_group(key, state);
+    }
+
+    /// Installs one group-index entry (snapshot restore).
+    pub(crate) fn install_group_index_entry(&mut self, vgroup: Row, entries: Vec<(Row, i64)>) {
+        self.group_index
+            .insert(vgroup, entries.into_iter().collect());
+    }
+
+    /// Borrow the group index for serialization.
+    pub(crate) fn group_index_for_snapshot(&self) -> &GroupIndex {
+        &self.group_index
+    }
+
+    /// Per-object storage accounting (auxiliary views + summary).
+    pub fn storage_report(&self) -> Vec<StorageLine> {
+        let mut lines: Vec<StorageLine> = self
+            .aux
+            .values()
+            .map(|s| StorageLine {
+                name: s.def().name.clone(),
+                rows: s.len() as u64,
+                paper_bytes: s.paper_bytes(),
+            })
+            .collect();
+        lines.push(StorageLine {
+            name: self.plan.view.name.clone(),
+            rows: self.summary.len() as u64,
+            paper_bytes: self.summary.paper_bytes(),
+        });
+        lines
+    }
+
+    // ------------------------------------------------------------------
+    // Initial load
+    // ------------------------------------------------------------------
+
+    /// Loads the auxiliary views and the summary from the sources. This is
+    /// the *only* method that touches base tables — the warehouse's
+    /// initial load. All subsequent maintenance is source-free.
+    pub fn initial_load(&mut self, db: &Database) -> Result<()> {
+        // Children before parents, so semijoin targets are ready.
+        let order = self.load_order();
+        for table in order {
+            let Some(store) = self.aux.get(&table) else {
+                continue;
+            };
+            let def = store.def().clone();
+            let rows: Vec<Row> = db
+                .table(table)
+                .scan()
+                .filter(|row| self.row_passes_locals(&def, row).unwrap_or(false))
+                .filter(|row| self.row_passes_semijoins(&def, row))
+                .cloned()
+                .collect();
+            let store = self.aux.get_mut(&table).expect("checked above");
+            for row in rows {
+                store.apply_source_row(&row, 1)?;
+            }
+        }
+        if self.plan.reconstruction.is_some() {
+            let exec = ReconExecutor::new(&self.plan, &self.catalog, &self.aux)?;
+            self.group_index = exec.rebuild(&mut self.summary)?;
+            self.rebuild_fk_index();
+        } else {
+            // Root auxiliary view eliminated: materialize V once from the
+            // sources (part of the initial load), then maintain it from
+            // deltas and the dimension auxiliary views alone.
+            self.load_summary_from_db(db)?;
+        }
+        Ok(())
+    }
+
+    fn load_order(&self) -> Vec<TableId> {
+        // Post-order DFS from the root: children first.
+        fn visit(graph: &md_core::ExtendedJoinGraph, t: TableId, out: &mut Vec<TableId>) {
+            let children: Vec<TableId> = graph.children(t).map(|e| e.to).collect();
+            for c in children {
+                visit(graph, c, out);
+            }
+            out.push(t);
+        }
+        let mut out = Vec::new();
+        visit(&self.plan.graph, self.plan.graph.root(), &mut out);
+        out
+    }
+
+    fn row_passes_locals(&self, def: &AuxViewDef, row: &Row) -> Result<bool> {
+        let env = RowEnv::single(def.table, row);
+        for cond in &def.local_conditions {
+            if !cond.eval(&env).map_err(MaintainError::from)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn row_passes_semijoins(&self, def: &AuxViewDef, row: &Row) -> bool {
+        def.semijoins.iter().all(|target| {
+            let Some(edge) = self
+                .plan
+                .graph
+                .children(def.table)
+                .find(|e| e.to == *target)
+            else {
+                return false;
+            };
+            match self.aux.get(target) {
+                Some(store) => store.contains_key_value(&row[edge.fk_col]),
+                None => false,
+            }
+        })
+    }
+
+    /// Materializes the summary directly from the sources — the initial
+    /// load for plans whose root auxiliary view was eliminated. Uses the
+    /// grouped evaluator so that every group (including ones hidden by a
+    /// `HAVING` clause) is seeded with its exact hidden count and `AVG`
+    /// running sums.
+    fn load_summary_from_db(&mut self, db: &Database) -> Result<()> {
+        let view = self.plan.view.clone();
+        let groups = md_algebra::eval_view_grouped(&view, db).map_err(MaintainError::from)?;
+        let group_positions: Vec<usize> = view
+            .select
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| matches!(it, SelectItem::GroupBy { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let agg_positions: Vec<(usize, md_algebra::Aggregate)> = view
+            .select
+            .iter()
+            .enumerate()
+            .filter_map(|(i, it)| it.as_agg().map(|a| (i, *a)))
+            .collect();
+
+        self.summary.clear();
+        for group in groups {
+            let key: Row = group_positions
+                .iter()
+                .map(|&i| group.row[i].clone())
+                .collect();
+            let mut aggs = Vec::with_capacity(agg_positions.len());
+            for (ai, (i, agg)) in agg_positions.iter().enumerate() {
+                let out = group.row[*i].clone();
+                let state = match (agg.func, agg.distinct) {
+                    (md_algebra::AggFunc::Count, false) => AggState::Count,
+                    (md_algebra::AggFunc::Sum, false) => AggState::Sum(out),
+                    (md_algebra::AggFunc::Avg, false) => {
+                        let total = group
+                            .avg_sums
+                            .iter()
+                            .find(|(idx, _)| *idx == ai)
+                            .map(|(_, t)| *t)
+                            .ok_or_else(|| {
+                                MaintainError::InvariantViolation(
+                                    "missing AVG running sum in grouped evaluation".into(),
+                                )
+                            })?;
+                        AggState::Avg(total)
+                    }
+                    (md_algebra::AggFunc::Min | md_algebra::AggFunc::Max, _) => AggState::MinMax {
+                        func: agg.func,
+                        value: out,
+                        stale: false,
+                    },
+                    (_, true) => AggState::Distinct {
+                        value: out,
+                        stale: false,
+                    },
+                };
+                aggs.push(state);
+            }
+            self.summary.install_group(
+                key,
+                GroupState {
+                    aggs,
+                    hidden_cnt: group.hidden_cnt,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Change application
+    // ------------------------------------------------------------------
+
+    /// Applies a batch of source changes to one base table, maintaining
+    /// `{V} ∪ X` without reading any base table.
+    pub fn apply(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
+        // Plans derived under the append-only regime (paper Section 4)
+        // dropped the detail data that deletions would need; reject any
+        // non-insert change loudly instead of corrupting the summary.
+        if self.plan.regime == md_core::ChangeRegime::AppendOnly
+            && changes.iter().any(|c| !matches!(c, Change::Insert(_)))
+        {
+            return Err(MaintainError::InvariantViolation(format!(
+                "view '{}' was derived under the append-only regime; the source                  violated its insert-only contract",
+                self.plan.view.name
+            )));
+        }
+        if table == self.plan.graph.root() {
+            self.apply_root_changes(changes)?;
+        } else {
+            self.apply_dim_changes(table, changes)?;
+        }
+        Ok(())
+    }
+
+    fn apply_root_changes(&mut self, changes: &[Change]) -> Result<()> {
+        for change in changes {
+            let (del, ins) = change.as_delete_insert();
+            if let Some(row) = del {
+                self.process_root_row(row, -1)?;
+            }
+            if let Some(row) = ins {
+                self.process_root_row(row, 1)?;
+            }
+        }
+        self.flush_dirty_groups()?;
+        Ok(())
+    }
+
+    fn process_root_row(&mut self, row: &Row, sign: i64) -> Result<()> {
+        self.stats.rows_processed += 1;
+        let root = self.plan.graph.root();
+        let view = self.plan.view.clone();
+
+        // Local conditions on the root.
+        {
+            let env = RowEnv::single(root, row);
+            for cond in view.local_conditions(root) {
+                if !cond.eval(&env).map_err(MaintainError::from)? {
+                    return Ok(());
+                }
+            }
+        }
+
+        // Resolve dimensions through the auxiliary stores and compute
+        // everything we need *before* mutating any store.
+        let group_cols = view.group_by_cols();
+        let (complete, vgroup, args, semijoin_pass) = {
+            let res = resolve_from(&self.plan.graph, &self.aux, root, Binding::Source(row));
+            let semijoin_pass = match self.aux.get(&root) {
+                Some(store) => store
+                    .def()
+                    .semijoins
+                    .iter()
+                    .all(|t| res.binding(*t).is_some()),
+                None => true,
+            };
+            if res.is_complete() {
+                let vgroup: Row = group_cols
+                    .iter()
+                    .map(|&c| {
+                        res.value(c).cloned().ok_or_else(|| {
+                            MaintainError::InvariantViolation(format!(
+                                "group-by attribute {} unresolved",
+                                c.display(&self.catalog)
+                            ))
+                        })
+                    })
+                    .collect::<Result<Row>>()?;
+                let args = agg_args(&view, &res)?;
+                (true, Some(vgroup), Some(args), semijoin_pass)
+            } else {
+                (false, None, None, semijoin_pass)
+            }
+        };
+
+        // Fold into the root auxiliary view.
+        let mut root_key = None;
+        if let Some(store) = self.aux.get_mut(&root) {
+            if semijoin_pass {
+                let key = store.group_key_of(row);
+                let effect = store.apply_source_row(row, sign)?;
+                // Maintain the per-edge foreign-key index on group
+                // creation/removal (fk values are part of the group key,
+                // so surviving groups never change their fk entries).
+                match effect {
+                    crate::store::GroupEffect::Created => {
+                        self.fk_index_update(&key, true);
+                    }
+                    crate::store::GroupEffect::Removed => {
+                        self.fk_index_update(&key, false);
+                    }
+                    _ => {}
+                }
+                root_key = Some(key);
+            }
+        }
+
+        // Fold into the summary.
+        if complete {
+            let vgroup = vgroup.expect("set when complete");
+            let args = args.expect("set when complete");
+            let outcome = if sign > 0 {
+                self.summary.apply_insert(vgroup.clone(), &args)?
+            } else {
+                self.summary.apply_delete(&vgroup, &args)?
+            };
+
+            // Maintain the group index (root materialized only).
+            if let Some(root_key) = root_key {
+                let entry = self.group_index.entry(vgroup.clone()).or_default();
+                let slot = entry.entry(root_key).or_insert(0);
+                *slot += sign;
+                if *slot == 0 {
+                    let zero_key: Vec<Row> = entry
+                        .iter()
+                        .filter(|(_, &c)| c == 0)
+                        .map(|(k, _)| k.clone())
+                        .collect();
+                    for k in zero_key {
+                        entry.remove(&k);
+                    }
+                }
+            }
+
+            if outcome.removed {
+                self.group_index.remove(&vgroup);
+                self.dirty.remove(&vgroup);
+            } else if !outcome.stale_aggs.is_empty() {
+                self.dirty
+                    .entry(vgroup)
+                    .or_default()
+                    .extend(outcome.stale_aggs);
+            }
+        }
+        Ok(())
+    }
+
+    /// Recomputes all stale non-CSMAS aggregate values collected during the
+    /// current batch, reading only the auxiliary views.
+    fn flush_dirty_groups(&mut self) -> Result<()> {
+        if self.dirty.is_empty() {
+            return Ok(());
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        if self.plan.reconstruction.is_some() {
+            for (vgroup, items) in dirty {
+                if self.summary.group(&vgroup).is_none() {
+                    continue; // group removed later in the batch
+                }
+                let stale: Vec<usize> = items.into_iter().collect();
+                let recomputed = {
+                    let exec = ReconExecutor::new(&self.plan, &self.catalog, &self.aux)?;
+                    let keys = self.group_index.get(&vgroup).ok_or_else(|| {
+                        MaintainError::InvariantViolation(format!(
+                            "no group-index entry for live group {vgroup}"
+                        ))
+                    })?;
+                    exec.recompute_group(keys.keys(), &stale)?
+                };
+                for (idx, value) in recomputed {
+                    self.summary.set_recomputed(&vgroup, idx, value)?;
+                }
+                self.stats.groups_recomputed += 1;
+            }
+        } else {
+            // Root omitted: every non-CSMAS argument lives on a dimension
+            // determined by the group key (elimination precondition).
+            let dirty_list: Vec<(Row, Vec<usize>)> = dirty
+                .into_iter()
+                .map(|(g, s)| (g, s.into_iter().collect()))
+                .collect();
+            for (vgroup, stale) in dirty_list {
+                if self.summary.group(&vgroup).is_none() {
+                    continue;
+                }
+                let values = self.recompute_from_dims(&vgroup, &stale)?;
+                for (idx, value) in values {
+                    self.summary.set_recomputed(&vgroup, idx, value)?;
+                }
+                self.stats.groups_recomputed += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Recomputes non-CSMAS aggregates of one group when the root auxiliary
+    /// view is omitted: the group key pins each direct child dimension by
+    /// key (they are all `k`-annotated — the elimination precondition), so
+    /// every dimension attribute is determined by a key-lookup chain.
+    fn recompute_from_dims(&self, vgroup: &Row, stale: &[usize]) -> Result<Vec<(usize, Value)>> {
+        let res = self.resolve_group_dims(vgroup)?;
+        let view = &self.plan.view;
+        let aggs: Vec<&md_algebra::Aggregate> = view.aggregates();
+        stale
+            .iter()
+            .map(|&i| {
+                let agg = aggs[i];
+                let col = agg.arg.ok_or_else(|| {
+                    MaintainError::InvariantViolation("COUNT(*) cannot be stale".into())
+                })?;
+                let v = res.value(col).ok_or_else(|| {
+                    MaintainError::InvariantViolation(format!(
+                        "attribute {} unresolved from group key",
+                        col.display(&self.catalog)
+                    ))
+                })?;
+                // A single determined value: MIN/MAX/DISTINCT collapse to it.
+                let value = match (agg.func, agg.distinct) {
+                    (md_algebra::AggFunc::Min | md_algebra::AggFunc::Max, _) => v.clone(),
+                    (f, true) => {
+                        let mut set = HashSet::new();
+                        set.insert(v.clone());
+                        distinct_value(f, &set)?
+                    }
+                    other => {
+                        return Err(MaintainError::InvariantViolation(format!(
+                            "unexpected stale CSMAS aggregate {other:?}"
+                        )))
+                    }
+                };
+                Ok((i, value))
+            })
+            .collect()
+    }
+
+    /// Binds every dimension reachable from the group key's child-key
+    /// values (root-omitted plans only).
+    fn resolve_group_dims(&self, vgroup: &Row) -> Result<Resolution<'_>> {
+        let view = &self.plan.view;
+        let root = self.plan.graph.root();
+        let group_cols = view.group_by_cols();
+        let mut res = Resolution::new();
+        let mut stack = Vec::new();
+        for edge in self.plan.graph.children(root) {
+            let key_ref = ColRef::new(edge.to, edge.key_col);
+            let pos = group_cols
+                .iter()
+                .position(|c| *c == key_ref)
+                .ok_or_else(|| {
+                    MaintainError::InvariantViolation(format!(
+                        "child key {} not in the group key despite root elimination",
+                        key_ref.display(&self.catalog)
+                    ))
+                })?;
+            let store = self.aux.get(&edge.to).ok_or_else(|| {
+                MaintainError::InvariantViolation("dimension store missing".into())
+            })?;
+            if let Some((row, _)) = store.lookup_by_key(&vgroup[pos]) {
+                res.bind(
+                    edge.to,
+                    Binding::AuxGroup {
+                        srcs: store.group_srcs(),
+                        row,
+                    },
+                );
+                stack.push(edge.to);
+            }
+        }
+        // Descend into deeper dimensions.
+        while let Some(t) = stack.pop() {
+            let Some(binding) = res.binding(t) else {
+                continue;
+            };
+            for edge in self.plan.graph.children(t) {
+                let Some(store) = self.aux.get(&edge.to) else {
+                    continue;
+                };
+                if let Some(fk) = binding.value(edge.fk_col) {
+                    if let Some((row, _)) = store.lookup_by_key(fk) {
+                        res.bind(
+                            edge.to,
+                            Binding::AuxGroup {
+                                srcs: store.group_srcs(),
+                                row,
+                            },
+                        );
+                        stack.push(edge.to);
+                    }
+                }
+            }
+        }
+        Ok(res)
+    }
+
+    /// Adds/removes one root auxiliary group key in the per-edge fk index.
+    fn fk_index_update(&mut self, root_key: &Row, add: bool) {
+        let root = self.plan.graph.root();
+        let Some(store) = self.aux.get(&root) else {
+            return;
+        };
+        let edges: Vec<(TableId, usize)> = self
+            .plan
+            .graph
+            .children(root)
+            .map(|e| (e.to, e.fk_col))
+            .collect();
+        for (child, fk_col) in edges {
+            let Some(pos) = store.group_srcs().iter().position(|&s| s == fk_col) else {
+                continue;
+            };
+            let fk_value = root_key[pos].clone();
+            let entry = self.fk_index.entry(child).or_default();
+            if add {
+                entry.entry(fk_value).or_default().insert(root_key.clone());
+            } else if let Some(set) = entry.get_mut(&fk_value) {
+                set.remove(root_key);
+                if set.is_empty() {
+                    entry.remove(&fk_value);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the fk index from the root auxiliary store (after initial
+    /// load, full rebuilds and snapshot restores).
+    pub(crate) fn rebuild_fk_index(&mut self) {
+        self.fk_index.clear();
+        let root = self.plan.graph.root();
+        let Some(store) = self.aux.get(&root) else {
+            return;
+        };
+        let keys: Vec<Row> = store.iter().map(|(k, _)| k.clone()).collect();
+        for key in keys {
+            self.fk_index_update(&key, true);
+        }
+    }
+
+    /// Attempts the targeted dimension-update fast path for an in-place
+    /// update of one row of `table`: valid when `table` is a direct child
+    /// of the root on a dependency edge, the root auxiliary view is
+    /// materialized, and the changed columns touch neither group-by nor
+    /// condition attributes. Adjusts CSMAS states of exactly the affected
+    /// groups (via the fk index) and marks non-CSMAS users dirty.
+    /// Returns `false` when the caller must fall back to a full repair.
+    fn try_targeted_dim_update(&mut self, table: TableId, old: &Row, new: &Row) -> Result<bool> {
+        let root = self.plan.graph.root();
+        if !self.targeted_updates {
+            return Ok(false); // ablation: forced conservative path
+        }
+        if self.plan.reconstruction.is_none() {
+            return Ok(false); // root omitted: remap path handles it
+        }
+        let direct_dependency = self.plan.graph.children(root).any(|e| e.to == table)
+            && *self.dependency_edge.get(&table).unwrap_or(&false);
+        if !direct_dependency {
+            return Ok(false);
+        }
+        let changed: Vec<usize> = (0..old.arity()).filter(|&c| old[c] != new[c]).collect();
+        let view = &self.plan.view;
+        let group_cols = view.group_by_columns_of(table);
+        let cond_cols = view.condition_columns(table);
+        if changed
+            .iter()
+            .any(|c| group_cols.contains(c) || cond_cols.contains(c))
+        {
+            return Ok(false);
+        }
+
+        // Which aggregate items read a changed column of this table?
+        #[derive(Clone, Copy)]
+        enum Adjust {
+            Csmas { col: usize },
+            Recompute,
+        }
+        let mut adjustments: Vec<(usize, Adjust)> = Vec::new();
+        for (i, agg) in view.aggregates().into_iter().enumerate() {
+            let Some(arg) = agg.arg else { continue };
+            if arg.table != table || !changed.contains(&arg.column) {
+                continue;
+            }
+            match md_core::classify(agg) {
+                md_core::AggClass::Csmas => {
+                    // COUNT(a) is insensitive to the value; SUM/AVG shift
+                    // by (new - old) per underlying base row.
+                    if agg.func != md_algebra::AggFunc::Count {
+                        adjustments.push((i, Adjust::Csmas { col: arg.column }));
+                    }
+                }
+                md_core::AggClass::NonCsmas => adjustments.push((i, Adjust::Recompute)),
+            }
+        }
+        if adjustments.is_empty() {
+            // Changed columns are invisible to the view.
+            self.stats.dim_noop_changes += 1;
+            return Ok(true);
+        }
+
+        // Affected root auxiliary tuples: those referencing the updated key.
+        let key_col = self.catalog.def(table)?.key_col;
+        let key_value = &old[key_col];
+        debug_assert_eq!(
+            old[key_col], new[key_col],
+            "key updates arrive as delete+insert"
+        );
+        let affected: Vec<Row> = self
+            .fk_index
+            .get(&table)
+            .and_then(|m| m.get(key_value))
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default();
+
+        let group_cols_v = view.group_by_cols();
+        let root_store = self.aux.get(&root).expect("root materialized");
+        let mut updates: Vec<(Row, u64)> = Vec::with_capacity(affected.len());
+        for root_key in &affected {
+            let Some(state) = root_store.get(root_key) else {
+                continue;
+            };
+            let binding = Binding::AuxGroup {
+                srcs: root_store.group_srcs(),
+                row: root_key,
+            };
+            let res = resolve_from(&self.plan.graph, &self.aux, root, binding);
+            if !res.is_complete() {
+                continue;
+            }
+            let vgroup: Row = group_cols_v
+                .iter()
+                .map(|&c| {
+                    res.value(c).cloned().ok_or_else(|| {
+                        MaintainError::InvariantViolation(
+                            "group-by attribute unresolved in targeted update".into(),
+                        )
+                    })
+                })
+                .collect::<Result<Row>>()?;
+            updates.push((vgroup, state.cnt));
+        }
+
+        // Cost heuristic: non-CSMAS items force per-group recomputation,
+        // whose cost is the total population of the affected groups. When
+        // that approaches the size of the root store, one full rebuild is
+        // cheaper — take the conservative path instead.
+        if adjustments
+            .iter()
+            .any(|(_, a)| matches!(a, Adjust::Recompute))
+        {
+            let affected_groups: HashSet<&Row> = updates.iter().map(|(g, _)| g).collect();
+            let recompute_cost: usize = affected_groups
+                .iter()
+                .filter_map(|g| self.group_index.get(*g))
+                .map(|m| m.len())
+                .sum();
+            if recompute_cost * 2 >= root_store.len() {
+                return Ok(false);
+            }
+        }
+
+        for (vgroup, cnt) in updates {
+            for (i, adj) in &adjustments {
+                match adj {
+                    Adjust::Csmas { col } => {
+                        let delta = new[*col].sub(&old[*col]).map_err(MaintainError::from)?;
+                        let shift = delta
+                            .mul(&Value::Int(cnt as i64))
+                            .map_err(MaintainError::from)?;
+                        self.summary.shift_csmas(&vgroup, *i, &shift)?;
+                    }
+                    Adjust::Recompute => {
+                        self.dirty.entry(vgroup.clone()).or_default().insert(*i);
+                    }
+                }
+            }
+        }
+        self.flush_dirty_groups()?;
+        self.stats.dim_targeted_updates += 1;
+        Ok(true)
+    }
+
+    fn apply_dim_changes(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
+        let Some(store) = self.aux.get(&table) else {
+            return Err(MaintainError::InvariantViolation(format!(
+                "changes for table {table} which has no auxiliary view (only the root \
+                 can be omitted)"
+            )));
+        };
+        let def = store.def().clone();
+        let is_dependency = *self.dependency_edge.get(&table).unwrap_or(&false);
+        let mut needs_repair = false;
+
+        for change in changes {
+            self.stats.rows_processed += 1;
+            match change {
+                Change::Insert(row) => {
+                    if self.row_passes_locals(&def, row)? && self.row_passes_semijoins(&def, row) {
+                        self.aux
+                            .get_mut(&table)
+                            .expect("store exists")
+                            .apply_source_row(row, 1)?;
+                    }
+                    if is_dependency {
+                        self.stats.dim_noop_changes += 1;
+                    } else {
+                        needs_repair = true;
+                    }
+                }
+                Change::Delete(row) => {
+                    if self.row_passes_locals(&def, row)? && self.row_passes_semijoins(&def, row) {
+                        self.aux
+                            .get_mut(&table)
+                            .expect("store exists")
+                            .apply_source_row(row, -1)?;
+                    }
+                    if is_dependency {
+                        self.stats.dim_noop_changes += 1;
+                    } else {
+                        needs_repair = true;
+                    }
+                }
+                Change::Update { old, new } => {
+                    let old_in =
+                        self.row_passes_locals(&def, old)? && self.row_passes_semijoins(&def, old);
+                    let new_in =
+                        self.row_passes_locals(&def, new)? && self.row_passes_semijoins(&def, new);
+                    let store = self.aux.get_mut(&table).expect("store exists");
+                    match (old_in, new_in) {
+                        (true, true) => store.apply_source_update(old, new)?,
+                        (true, false) => {
+                            store.apply_source_row(old, -1)?;
+                        }
+                        (false, true) => {
+                            store.apply_source_row(new, 1)?;
+                        }
+                        (false, false) => {}
+                    }
+                    // An update may change preserved attributes (group-bys,
+                    // aggregate arguments) of existing join results even on
+                    // a dependency edge. Try the targeted per-group
+                    // adjustment first; fall back to a full repair from X.
+                    if old == new {
+                        self.stats.dim_noop_changes += 1;
+                    } else if !self.try_targeted_dim_update(table, old, new)? {
+                        needs_repair = true;
+                    }
+                }
+            }
+        }
+
+        if needs_repair {
+            self.repair_summary()?;
+        }
+        Ok(())
+    }
+
+    /// Repairs `V` after dimension changes that may have reshaped existing
+    /// join results — from the auxiliary views only.
+    fn repair_summary(&mut self) -> Result<()> {
+        self.stats.summary_rebuilds += 1;
+        if self.plan.reconstruction.is_some() {
+            let index = {
+                let exec = ReconExecutor::new(&self.plan, &self.catalog, &self.aux)?;
+                exec.rebuild(&mut self.summary)?
+            };
+            self.group_index = index;
+            self.rebuild_fk_index();
+            Ok(())
+        } else {
+            self.remap_groups_from_dims()
+        }
+    }
+
+    /// Root-omitted repair: every group key pins its dimension chain, so
+    /// the group-by attributes and all dimension-sourced aggregates can be
+    /// recomputed from the dimension stores, while root-sourced CSMAS
+    /// states are carried over unchanged.
+    fn remap_groups_from_dims(&mut self) -> Result<()> {
+        let view = self.plan.view.clone();
+        let group_cols = view.group_by_cols();
+        let aggs: Vec<md_algebra::Aggregate> = view.aggregates().into_iter().copied().collect();
+        let root = self.plan.graph.root();
+
+        let old_groups: Vec<(Row, GroupState)> = self
+            .summary
+            .iter()
+            .map(|(k, s)| (k.clone(), s.clone()))
+            .collect();
+        self.summary.clear();
+
+        for (old_key, mut state) in old_groups {
+            let res = self.resolve_group_dims(&old_key)?;
+            // Recompute the group key: root attributes keep their old
+            // values (positionally), dimension attributes re-resolve.
+            let new_key: Row = group_cols
+                .iter()
+                .enumerate()
+                .map(|(i, col)| {
+                    if col.table == root {
+                        Ok(old_key[i].clone())
+                    } else {
+                        res.value(*col).cloned().ok_or_else(|| {
+                            MaintainError::InvariantViolation(format!(
+                                "group-by attribute {} unresolved during remap",
+                                col.display(&self.catalog)
+                            ))
+                        })
+                    }
+                })
+                .collect::<Result<Row>>()?;
+            // Recompute dimension-sourced aggregates.
+            for (agg, agg_state) in aggs.iter().zip(state.aggs.iter_mut()) {
+                let Some(col) = agg.arg else { continue };
+                if col.table == root {
+                    continue;
+                }
+                let v = res.value(col).cloned().ok_or_else(|| {
+                    MaintainError::InvariantViolation(format!(
+                        "aggregate argument {} unresolved during remap",
+                        col.display(&self.catalog)
+                    ))
+                })?;
+                let n = state.hidden_cnt;
+                match agg_state {
+                    AggState::Count => {}
+                    AggState::Sum(total) => {
+                        *total = v.mul(&Value::Int(n as i64)).map_err(MaintainError::from)?;
+                    }
+                    AggState::Avg(total) => {
+                        *total = v.as_double().map_err(MaintainError::from)? * n as f64;
+                    }
+                    AggState::MinMax { value, stale, .. } => {
+                        *value = v.clone();
+                        *stale = false;
+                    }
+                    AggState::Distinct { value, stale } => {
+                        let mut set = HashSet::new();
+                        set.insert(v.clone());
+                        *value = distinct_value(agg.func, &set)?;
+                        *stale = false;
+                    }
+                }
+            }
+            if self.summary.group(&new_key).is_some() {
+                return Err(MaintainError::InvariantViolation(format!(
+                    "group collision during dimension remap at {new_key}; the group key \
+                     no longer determines the dimension chain"
+                )));
+            }
+            self.summary.install_group(new_key, state);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Verification
+    // ------------------------------------------------------------------
+
+    /// Oracle check: compares the maintained summary against a fresh
+    /// recomputation from the base tables. Intended for tests and
+    /// experiments only — production maintenance never calls this.
+    pub fn verify_against(&self, db: &Database) -> Result<bool> {
+        let expected = eval_view(&self.plan.view, db).map_err(MaintainError::from)?;
+        Ok(self.summary.to_bag()? == expected)
+    }
+
+    /// Oracle check for the auxiliary views: each store must equal its
+    /// definition evaluated from the base tables.
+    pub fn verify_aux_against(&self, db: &Database) -> Result<bool> {
+        for store in self.aux.values() {
+            let expected = expected_aux_rows(store.def(), &self.plan, db, &self.catalog)?;
+            let mut actual = store.materialized_rows();
+            actual.sort();
+            if actual != expected {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// The aggregate argument values of one joined tuple, parallel to the
+/// view's aggregate items (`None` for `COUNT(*)`).
+fn agg_args(view: &GpsjView, res: &Resolution<'_>) -> Result<Vec<Option<Value>>> {
+    view.aggregates()
+        .into_iter()
+        .map(|agg| match agg.arg {
+            None => Ok(None),
+            Some(col) => res.value(col).cloned().map(Some).ok_or_else(|| {
+                MaintainError::InvariantViolation(
+                    "aggregate argument unresolved in complete resolution".into(),
+                )
+            }),
+        })
+        .collect()
+}
+
+/// Computes the expected contents of one auxiliary view directly from the
+/// base tables (test oracle).
+fn expected_aux_rows(
+    def: &AuxViewDef,
+    plan: &DerivedPlan,
+    db: &Database,
+    catalog: &Catalog,
+) -> Result<Vec<Row>> {
+    let _ = catalog;
+    let mut store = AuxStore::new(def.clone(), db.catalog())?;
+    // Load in dependency order: materialize semijoin targets first.
+    let mut target_stores: BTreeMap<TableId, AuxStore> = BTreeMap::new();
+    let mut pending: Vec<TableId> = def.semijoins.clone();
+    while let Some(t) = pending.pop() {
+        if target_stores.contains_key(&t) {
+            continue;
+        }
+        let tdef = plan.aux_for(t).ok_or_else(|| {
+            MaintainError::InvariantViolation("semijoin target has no auxiliary view".into())
+        })?;
+        pending.extend(tdef.semijoins.iter().copied());
+        let trows = expected_aux_rows_inner(tdef, plan, db, &mut target_stores)?;
+        target_stores.insert(t, trows);
+    }
+    let env_passes = |row: &Row| -> Result<bool> {
+        let env = RowEnv::single(def.table, row);
+        for cond in &def.local_conditions {
+            if !cond.eval(&env).map_err(MaintainError::from)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    };
+    for row in db.table(def.table).scan() {
+        if !env_passes(row)? {
+            continue;
+        }
+        let semis_ok = def.semijoins.iter().all(|target| {
+            let Some(edge) = plan.graph.children(def.table).find(|e| e.to == *target) else {
+                return false;
+            };
+            target_stores
+                .get(target)
+                .map(|s| s.contains_key_value(&row[edge.fk_col]))
+                .unwrap_or(false)
+        });
+        if semis_ok {
+            store.apply_source_row(row, 1)?;
+        }
+    }
+    Ok(store.materialized_rows())
+}
+
+fn expected_aux_rows_inner(
+    def: &AuxViewDef,
+    plan: &DerivedPlan,
+    db: &Database,
+    memo: &mut BTreeMap<TableId, AuxStore>,
+) -> Result<AuxStore> {
+    let mut store = AuxStore::new(def.clone(), db.catalog())?;
+    for row in db.table(def.table).scan() {
+        let env = RowEnv::single(def.table, row);
+        let mut ok = true;
+        for cond in &def.local_conditions {
+            if !cond.eval(&env).map_err(MaintainError::from)? {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let semis_ok = def.semijoins.iter().all(|target| {
+            let Some(edge) = plan.graph.children(def.table).find(|e| e.to == *target) else {
+                return false;
+            };
+            memo.get(target)
+                .map(|s| s.contains_key_value(&row[edge.fk_col]))
+                .unwrap_or(true)
+        });
+        if semis_ok {
+            store.apply_source_row(row, 1)?;
+        }
+    }
+    Ok(store)
+}

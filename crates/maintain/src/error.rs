@@ -1,0 +1,116 @@
+//! Error type for the maintenance engine.
+
+use std::fmt;
+
+use md_algebra::AlgebraError;
+use md_core::CoreError;
+use md_relation::RelationError;
+
+/// Result alias used throughout `md-maintain`.
+pub type Result<T, E = MaintainError> = std::result::Result<T, E>;
+
+/// Errors raised while materializing or maintaining views.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaintainError {
+    /// A delta row failed the auxiliary view's schema expectations.
+    BadDeltaRow {
+        /// The table the delta targets.
+        table: String,
+        /// Explanation of the problem.
+        detail: String,
+    },
+    /// Internal invariant violation (e.g. a group's count went negative).
+    /// Indicates a bug or a delta stream inconsistent with the sources.
+    InvariantViolation(String),
+    /// The requested operation requires a materialized root auxiliary view.
+    RootOmitted {
+        /// The view involved.
+        view: String,
+        /// The operation that was attempted.
+        operation: String,
+    },
+    /// Error bubbled up from the derivation layer.
+    Core(CoreError),
+    /// Error bubbled up from the algebra layer.
+    Algebra(AlgebraError),
+    /// Error bubbled up from the storage layer.
+    Relation(RelationError),
+}
+
+impl fmt::Display for MaintainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintainError::BadDeltaRow { table, detail } => {
+                write!(f, "bad delta row for table '{table}': {detail}")
+            }
+            MaintainError::InvariantViolation(msg) => {
+                write!(f, "maintenance invariant violated: {msg}")
+            }
+            MaintainError::RootOmitted { view, operation } => {
+                write!(
+                    f,
+                    "operation '{operation}' on view '{view}' requires the root auxiliary \
+                     view, which was eliminated by Algorithm 3.2"
+                )
+            }
+            MaintainError::Core(e) => write!(f, "{e}"),
+            MaintainError::Algebra(e) => write!(f, "{e}"),
+            MaintainError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MaintainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MaintainError::Core(e) => Some(e),
+            MaintainError::Algebra(e) => Some(e),
+            MaintainError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for MaintainError {
+    fn from(e: CoreError) -> Self {
+        MaintainError::Core(e)
+    }
+}
+
+impl From<AlgebraError> for MaintainError {
+    fn from(e: AlgebraError) -> Self {
+        MaintainError::Algebra(e)
+    }
+}
+
+impl From<RelationError> for MaintainError {
+    fn from(e: RelationError) -> Self {
+        MaintainError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: MaintainError = RelationError::NullNotSupported.into();
+        assert!(matches!(e, MaintainError::Relation(_)));
+        let e: MaintainError = AlgebraError::BadAggregateArgument {
+            func: "SUM".into(),
+            detail: "d".into(),
+        }
+        .into();
+        assert!(matches!(e, MaintainError::Algebra(_)));
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = MaintainError::RootOmitted {
+            view: "v".into(),
+            operation: "reconstruct".into(),
+        };
+        assert!(e.to_string().contains("Algorithm 3.2"));
+    }
+}

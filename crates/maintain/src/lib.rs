@@ -1,0 +1,51 @@
+//! # `md-maintain` — self-maintenance of GPSJ views over minimal detail data
+//!
+//! The runtime half of the *mindetail* reproduction of *Akinde, Jensen &
+//! Böhlen, "Minimizing Detail Data in Data Warehouses" (EDBT 1998)*: it
+//! materializes the auxiliary views derived by `md-core` and keeps
+//! `{V} ∪ X` consistent under source change streams **without base-table
+//! access** — the paper's definition of self-maintainability.
+//!
+//! * [`store::AuxStore`] — compressed auxiliary view contents
+//!   (`group key → (SUMs, COUNT(*))`), the materialization of Tables 3→4.
+//! * [`summary::SummaryStore`] — the summary view with per-group aggregate
+//!   states: CSMAS aggregates adjust in place, `MIN`/`MAX` go stale when
+//!   their extremum is deleted, `DISTINCT` always recomputes.
+//! * [`reconstruct::ReconExecutor`] — rebuilds `V` from `X` using the
+//!   duplicate-compression rules (`Σ cnt₀`, pre-aggregated sums,
+//!   `f(a · cnt₀)`).
+//! * [`engine::MaintenanceEngine`] — the full engine with the dependency
+//!   fast paths and the recomputation fallbacks.
+//! * [`psj`] — the Quass-et-al. PSJ baseline (no duplicate compression),
+//!   for the storage comparisons.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod error;
+pub mod psj;
+pub mod reconstruct;
+pub mod resolve;
+pub mod snapshot;
+pub mod store;
+pub mod summary;
+
+pub use engine::{MaintStats, MaintenanceEngine, StorageLine};
+pub use error::{MaintainError, Result};
+pub use psj::{derive_psj, load_psj_stores, psj_totals};
+pub use reconstruct::{GroupIndex, ReconExecutor};
+pub use resolve::{resolve_from, Binding, Resolution};
+pub use snapshot::{plan_fingerprint, ENGINE_MAGIC, SNAPSHOT_VERSION};
+pub use store::{AuxGroupState, AuxStore, GroupEffect};
+pub use summary::{AggState, ApplyOutcome, GroupState, SummaryStore};
+
+use md_algebra::{eval_view, GpsjView};
+use md_relation::{Bag, Database};
+
+/// The recomputation baseline: evaluates `view` from the base tables — what
+/// a warehouse without auxiliary views would have to do on every change
+/// (and cannot do at all when the sources are unreachable).
+pub fn recompute_from_sources(view: &GpsjView, db: &Database) -> Result<Bag> {
+    eval_view(view, db).map_err(MaintainError::from)
+}

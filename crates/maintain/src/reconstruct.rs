@@ -1,0 +1,464 @@
+//! Reconstruction of the summary view from the auxiliary views alone.
+//!
+//! Implements the paper's reconstruction semantics (Sections 1.1 and 3.2):
+//! join the auxiliary views along the extended join graph, group by the
+//! view's group-by attributes, and evaluate each aggregate with the
+//! duplicate-compression rules — `COUNT(*) = Σ cnt₀`, pre-aggregated `SUM`
+//! columns added distributively, raw CSMAS attributes contributing
+//! `a · cnt₀`, and `MIN`/`MAX`/`DISTINCT` aggregates reading raw values
+//! (duplicates are irrelevant to them).
+//!
+//! Used for (a) the initial materialization of `V` from a freshly loaded
+//! `X`, (b) full rebuilds after dimension changes that escape the
+//! incremental fast paths, and (c) per-group recomputation of non-CSMAS
+//! aggregates after deletions.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use md_algebra::{AggFunc, ColRef, GpsjView, SelectItem};
+use md_core::{AuxColKind, DerivedPlan, ReconItem, SumSource};
+use md_relation::{Bag, Catalog, Row, TableId, Value};
+
+use crate::error::{MaintainError, Result};
+use crate::resolve::{resolve_from, Binding, Resolution};
+use crate::store::AuxStore;
+use crate::summary::{AggState, GroupState, SummaryStore};
+
+/// Secondary index mapping each summary group to the root auxiliary view
+/// tuples that contribute to it (with base-row reference counts), used to
+/// recompute non-CSMAS aggregates of a single group without scanning all
+/// of `X_{R₀}`.
+pub type GroupIndex = HashMap<Row, HashMap<Row, i64>>;
+
+/// A rebuild/recompute executor over a set of auxiliary stores.
+pub struct ReconExecutor<'a> {
+    plan: &'a DerivedPlan,
+    catalog: &'a Catalog,
+    aux: &'a BTreeMap<TableId, AuxStore>,
+}
+
+/// One accumulator used during rebuilds (unlike
+/// [`md_algebra::Accumulator`], it exposes the raw sums needed to seed
+/// incremental [`AggState`]s).
+#[derive(Debug, Clone)]
+enum RebuildAcc {
+    Count,
+    Sum(Option<Value>),
+    Avg(f64),
+    MinMax {
+        func: AggFunc,
+        value: Option<Value>,
+    },
+    Distinct {
+        func: AggFunc,
+        values: HashSet<Value>,
+    },
+}
+
+impl RebuildAcc {
+    fn for_item(item: &ReconItem) -> Self {
+        match item {
+            ReconItem::Count => RebuildAcc::Count,
+            ReconItem::Sum(_) => RebuildAcc::Sum(None),
+            ReconItem::Avg(_) => RebuildAcc::Avg(0.0),
+            ReconItem::MinMax { func, .. } => RebuildAcc::MinMax {
+                func: *func,
+                value: None,
+            },
+            ReconItem::Distinct { func, .. } => RebuildAcc::Distinct {
+                func: *func,
+                values: HashSet::new(),
+            },
+            ReconItem::Group { .. } => unreachable!("group items are not accumulated"),
+        }
+    }
+
+    fn add_summed(&mut self, sum: &Value) -> Result<()> {
+        match self {
+            RebuildAcc::Sum(total) => {
+                *total = Some(match total.take() {
+                    None => sum.clone(),
+                    Some(t) => t.add(sum).map_err(MaintainError::from)?,
+                });
+            }
+            RebuildAcc::Avg(total) => {
+                *total += sum.as_double().map_err(MaintainError::from)?;
+            }
+            other => {
+                return Err(MaintainError::InvariantViolation(format!(
+                    "pre-summed input fed to {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn add_raw(&mut self, v: &Value, cnt: u64) -> Result<()> {
+        match self {
+            RebuildAcc::Count => {}
+            RebuildAcc::Sum(_) | RebuildAcc::Avg(_) => {
+                let scaled = v
+                    .mul(&Value::Int(cnt as i64))
+                    .map_err(MaintainError::from)?;
+                self.add_summed(&scaled)?;
+            }
+            RebuildAcc::MinMax { func, value } => {
+                let replace = match value {
+                    None => true,
+                    Some(cur) => {
+                        let ord = v.try_cmp(cur).map_err(MaintainError::from)?;
+                        match func {
+                            AggFunc::Min => ord == Ordering::Less,
+                            AggFunc::Max => ord == Ordering::Greater,
+                            _ => unreachable!("MinMax holds only MIN/MAX"),
+                        }
+                    }
+                };
+                if replace {
+                    *value = Some(v.clone());
+                }
+            }
+            RebuildAcc::Distinct { values, .. } => {
+                values.insert(v.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts into the incremental [`AggState`] for the summary store.
+    fn into_state(self, hidden_cnt: u64) -> Result<AggState> {
+        let _ = hidden_cnt;
+        Ok(match self {
+            RebuildAcc::Count => AggState::Count,
+            RebuildAcc::Sum(total) => AggState::Sum(total.ok_or_else(|| {
+                MaintainError::InvariantViolation("SUM over empty group during rebuild".into())
+            })?),
+            RebuildAcc::Avg(total) => AggState::Avg(total),
+            RebuildAcc::MinMax { func, value } => AggState::MinMax {
+                func,
+                value: value.ok_or_else(|| {
+                    MaintainError::InvariantViolation(
+                        "MIN/MAX over empty group during rebuild".into(),
+                    )
+                })?,
+                stale: false,
+            },
+            RebuildAcc::Distinct { func, values } => AggState::Distinct {
+                value: distinct_value(func, &values)?,
+                stale: false,
+            },
+        })
+    }
+}
+
+/// Evaluates a `DISTINCT` aggregate over its value set.
+pub(crate) fn distinct_value(func: AggFunc, values: &HashSet<Value>) -> Result<Value> {
+    match func {
+        AggFunc::Count => Ok(Value::Int(values.len() as i64)),
+        AggFunc::Sum | AggFunc::Avg => {
+            let mut total: Option<Value> = None;
+            for v in values {
+                total = Some(match total {
+                    None => v.clone(),
+                    Some(t) => t.add(v).map_err(MaintainError::from)?,
+                });
+            }
+            let total = total.ok_or_else(|| {
+                MaintainError::InvariantViolation("DISTINCT aggregate over empty set".into())
+            })?;
+            if func == AggFunc::Sum {
+                Ok(total)
+            } else {
+                Ok(Value::Double(
+                    total.as_double().map_err(MaintainError::from)? / values.len() as f64,
+                ))
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<&Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(cur) => {
+                        let ord = v.try_cmp(cur).map_err(MaintainError::from)?;
+                        let take = match func {
+                            AggFunc::Min => ord == Ordering::Less,
+                            _ => ord == Ordering::Greater,
+                        };
+                        if take {
+                            v
+                        } else {
+                            cur
+                        }
+                    }
+                });
+            }
+            best.cloned().ok_or_else(|| {
+                MaintainError::InvariantViolation("MIN/MAX DISTINCT over empty set".into())
+            })
+        }
+    }
+}
+
+impl<'a> ReconExecutor<'a> {
+    /// Creates an executor. Fails when the plan's root auxiliary view was
+    /// omitted (there is nothing to reconstruct from).
+    pub fn new(
+        plan: &'a DerivedPlan,
+        catalog: &'a Catalog,
+        aux: &'a BTreeMap<TableId, AuxStore>,
+    ) -> Result<Self> {
+        if plan.reconstruction.is_none() {
+            return Err(MaintainError::RootOmitted {
+                view: plan.view.name.clone(),
+                operation: "reconstruct".into(),
+            });
+        }
+        Ok(ReconExecutor { plan, catalog, aux })
+    }
+
+    fn view(&self) -> &GpsjView {
+        &self.plan.view
+    }
+
+    /// Source column of an (aggregate) recon item's raw reference.
+    fn src_col_of(&self, table: TableId, aux_col: usize) -> Result<usize> {
+        let def = self.plan.aux_for(table).ok_or_else(|| {
+            MaintainError::InvariantViolation(format!("no auxiliary view for {table}"))
+        })?;
+        match def.columns[aux_col].kind {
+            AuxColKind::Group { src_col } | AuxColKind::Sum { src_col } => Ok(src_col),
+            AuxColKind::Count => Err(MaintainError::InvariantViolation(
+                "raw reference to the count column".into(),
+            )),
+        }
+    }
+
+    /// Iterates over every root auxiliary tuple that joins through to all
+    /// dimensions, invoking `f(vgroup, resolution, state_cnt, root_key,
+    /// presums)` where `presums[i]` is the i-th stored sum of the tuple.
+    fn for_each_contributing<F>(&self, mut f: F) -> Result<()>
+    where
+        F: FnMut(Row, &Resolution<'_>, u64, &Row, &[Value]) -> Result<()>,
+    {
+        let root = self.plan.graph.root();
+        let root_store = self.aux.get(&root).ok_or_else(|| {
+            MaintainError::InvariantViolation("root auxiliary store missing".into())
+        })?;
+        let group_cols = self.view().group_by_cols();
+        for (root_key, state) in root_store.iter() {
+            let binding = Binding::AuxGroup {
+                srcs: root_store.group_srcs(),
+                row: root_key,
+            };
+            let res = resolve_from(&self.plan.graph, self.aux, root, binding);
+            if !res.is_complete() {
+                continue;
+            }
+            let vgroup: Row = group_cols
+                .iter()
+                .map(|&c| {
+                    res.value(c).cloned().ok_or_else(|| {
+                        MaintainError::InvariantViolation(format!(
+                            "group-by attribute {} unresolved during reconstruction",
+                            c.display(self.catalog)
+                        ))
+                    })
+                })
+                .collect::<Result<Row>>()?;
+            f(vgroup, &res, state.cnt, root_key, &state.sums)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds `summary` (cleared first) from the auxiliary views and
+    /// returns the fresh [`GroupIndex`].
+    pub fn rebuild(&self, summary: &mut SummaryStore) -> Result<GroupIndex> {
+        let recon = self.plan.reconstruction.as_ref().expect("checked in new()");
+        let root_def = self
+            .plan
+            .aux_for(recon.root)
+            .expect("root materialized when reconstruction exists");
+        // Map aux column index -> position within the stored sums vector.
+        let sum_pos: HashMap<usize, usize> = root_def
+            .sum_cols()
+            .into_iter()
+            .enumerate()
+            .map(|(pos, (aux_idx, _))| (aux_idx, pos))
+            .collect();
+        // Aggregate items with their recon instructions, in agg order.
+        let agg_items: Vec<&ReconItem> = recon
+            .items
+            .iter()
+            .zip(&self.view().select)
+            .filter(|(_, si)| matches!(si, SelectItem::Agg { .. }))
+            .map(|(ri, _)| ri)
+            .collect();
+
+        let mut groups: HashMap<Row, (Vec<RebuildAcc>, u64)> = HashMap::new();
+        let mut index: GroupIndex = GroupIndex::new();
+
+        self.for_each_contributing(|vgroup, res, cnt, root_key, presums| {
+            let (accs, hidden) = groups.entry(vgroup.clone()).or_insert_with(|| {
+                (
+                    agg_items
+                        .iter()
+                        .map(|ri| RebuildAcc::for_item(ri))
+                        .collect(),
+                    0,
+                )
+            });
+            *hidden += cnt;
+            for (acc, item) in accs.iter_mut().zip(&agg_items) {
+                match item {
+                    ReconItem::Group { .. } => unreachable!(),
+                    ReconItem::Count => {}
+                    ReconItem::Sum(src) | ReconItem::Avg(src) => match src {
+                        SumSource::PreSummed { aux_col, .. } => {
+                            let pos = sum_pos[aux_col];
+                            acc.add_summed(&presums[pos])?;
+                        }
+                        SumSource::Raw { table, aux_col } => {
+                            let src_col = self.src_col_of(*table, *aux_col)?;
+                            let v = res.value(ColRef::new(*table, src_col)).ok_or_else(|| {
+                                MaintainError::InvariantViolation(
+                                    "raw CSMAS attribute unresolved".into(),
+                                )
+                            })?;
+                            acc.add_raw(v, cnt)?;
+                        }
+                    },
+                    ReconItem::MinMax { table, aux_col, .. }
+                    | ReconItem::Distinct { table, aux_col, .. } => {
+                        let src_col = self.src_col_of(*table, *aux_col)?;
+                        let v = res.value(ColRef::new(*table, src_col)).ok_or_else(|| {
+                            MaintainError::InvariantViolation(
+                                "non-CSMAS attribute unresolved".into(),
+                            )
+                        })?;
+                        acc.add_raw(v, cnt)?;
+                    }
+                }
+            }
+            *index
+                .entry(vgroup)
+                .or_default()
+                .entry(root_key.clone())
+                .or_insert(0) += cnt as i64;
+            Ok(())
+        })?;
+
+        summary.clear();
+        for (vgroup, (accs, hidden)) in groups {
+            let aggs = accs
+                .into_iter()
+                .map(|a| a.into_state(hidden))
+                .collect::<Result<Vec<_>>>()?;
+            summary.install_group(
+                vgroup,
+                GroupState {
+                    aggs,
+                    hidden_cnt: hidden,
+                },
+            );
+        }
+        Ok(index)
+    }
+
+    /// Computes the full view contents as a bag — the paper's rewritten
+    /// `product_sales` query over `saleDTL ⋈ timeDTL ⋈ productDTL`.
+    pub fn to_bag(&self) -> Result<Bag> {
+        let mut summary = SummaryStore::new(self.view());
+        self.rebuild(&mut summary)?;
+        summary.to_bag()
+    }
+
+    /// Recomputes the non-CSMAS aggregate values of a single summary group
+    /// from the root auxiliary tuples listed in `root_keys`. Returns
+    /// `(aggregate item index, fresh value)` pairs.
+    pub fn recompute_group<'k>(
+        &self,
+        root_keys: impl Iterator<Item = &'k Row>,
+        stale_items: &[usize],
+    ) -> Result<Vec<(usize, Value)>> {
+        let recon = self.plan.reconstruction.as_ref().expect("checked in new()");
+        let root = recon.root;
+        let root_store = self.aux.get(&root).ok_or_else(|| {
+            MaintainError::InvariantViolation("root auxiliary store missing".into())
+        })?;
+        let agg_recons: Vec<&ReconItem> = recon
+            .items
+            .iter()
+            .zip(&self.view().select)
+            .filter(|(_, si)| matches!(si, SelectItem::Agg { .. }))
+            .map(|(ri, _)| ri)
+            .collect();
+
+        let mut accs: Vec<(usize, RebuildAcc)> = stale_items
+            .iter()
+            .map(|&i| {
+                let item = agg_recons[i];
+                let acc = match item {
+                    ReconItem::MinMax { func, .. } => RebuildAcc::MinMax {
+                        func: *func,
+                        value: None,
+                    },
+                    ReconItem::Distinct { func, .. } => RebuildAcc::Distinct {
+                        func: *func,
+                        values: HashSet::new(),
+                    },
+                    other => {
+                        return Err(MaintainError::InvariantViolation(format!(
+                            "recompute requested for CSMAS item {other:?}"
+                        )))
+                    }
+                };
+                Ok((i, acc))
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        for root_key in root_keys {
+            let Some(_state) = root_store.get(root_key) else {
+                // The tuple disappeared from X in the same batch; nothing
+                // to contribute.
+                continue;
+            };
+            let binding = Binding::AuxGroup {
+                srcs: root_store.group_srcs(),
+                row: root_key,
+            };
+            let res = resolve_from(&self.plan.graph, self.aux, root, binding);
+            if !res.is_complete() {
+                continue;
+            }
+            for (i, acc) in accs.iter_mut() {
+                let (table, aux_col) = match agg_recons[*i] {
+                    ReconItem::MinMax { table, aux_col, .. }
+                    | ReconItem::Distinct { table, aux_col, .. } => (*table, *aux_col),
+                    _ => unreachable!("filtered above"),
+                };
+                let src_col = self.src_col_of(table, aux_col)?;
+                let v = res.value(ColRef::new(table, src_col)).ok_or_else(|| {
+                    MaintainError::InvariantViolation("non-CSMAS attribute unresolved".into())
+                })?;
+                acc.add_raw(v, 1)?;
+            }
+        }
+
+        accs.into_iter()
+            .map(|(i, acc)| {
+                let value = match acc {
+                    RebuildAcc::MinMax { value, .. } => value.ok_or_else(|| {
+                        MaintainError::InvariantViolation(
+                            "MIN/MAX recompute over an empty group".into(),
+                        )
+                    })?,
+                    RebuildAcc::Distinct { func, values } => distinct_value(func, &values)?,
+                    _ => unreachable!(),
+                };
+                Ok((i, value))
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,264 @@
+//! Resolution of dimension chains from auxiliary views.
+//!
+//! During maintenance, a fact-table delta row must be joined with the
+//! *auxiliary* dimension views (never the sources) to find the summary
+//! group it contributes to and the dimension attribute values it carries
+//! into aggregates. Because every non-root auxiliary view retains its key
+//! (it appears in a join condition), each hop is an O(1) key lookup.
+
+use std::collections::BTreeMap;
+
+use md_algebra::ColRef;
+use md_core::ExtendedJoinGraph;
+use md_relation::{Row, TableId, Value};
+
+use crate::store::AuxStore;
+
+/// A row bound for one table during resolution: either a full source row
+/// (the delta being processed) or a stored auxiliary group row, which only
+/// carries the retained raw columns.
+#[derive(Debug, Clone, Copy)]
+pub enum Binding<'a> {
+    /// A full base-table row in source schema order.
+    Source(&'a Row),
+    /// An auxiliary group row: `srcs[i]` is the source column stored at
+    /// position `i` of `row`.
+    AuxGroup {
+        /// Source column index per position.
+        srcs: &'a [usize],
+        /// The stored group-key row.
+        row: &'a Row,
+    },
+}
+
+impl<'a> Binding<'a> {
+    /// The value of source column `src_col`, when available in this binding.
+    pub fn value(&self, src_col: usize) -> Option<&'a Value> {
+        match self {
+            Binding::Source(row) => row.values().get(src_col),
+            Binding::AuxGroup { srcs, row } => {
+                srcs.iter().position(|&s| s == src_col).map(|i| &row[i])
+            }
+        }
+    }
+}
+
+/// The outcome of resolving the dimension chain under one starting binding.
+#[derive(Debug, Clone, Default)]
+pub struct Resolution<'a> {
+    bindings: BTreeMap<TableId, Binding<'a>>,
+    missing: Vec<TableId>,
+}
+
+impl<'a> Resolution<'a> {
+    /// Creates an empty resolution.
+    pub fn new() -> Self {
+        Resolution::default()
+    }
+
+    /// Binds `table` to `binding`.
+    pub fn bind(&mut self, table: TableId, binding: Binding<'a>) {
+        self.bindings.insert(table, binding);
+    }
+
+    /// The binding of `table`, if resolved.
+    pub fn binding(&self, table: TableId) -> Option<Binding<'a>> {
+        self.bindings.get(&table).copied()
+    }
+
+    /// The value of a column reference, when its table resolved and the
+    /// column is retained.
+    pub fn value(&self, col: ColRef) -> Option<&'a Value> {
+        self.bindings.get(&col.table)?.value(col.column)
+    }
+
+    /// Tables that failed to resolve (dimension tuple absent from its
+    /// auxiliary view — filtered out by local conditions, or a dangling
+    /// reference under a non-dependency edge).
+    pub fn missing(&self) -> &[TableId] {
+        &self.missing
+    }
+
+    /// Returns `true` when every table of the chain resolved — i.e. the
+    /// starting row joins through to all dimensions and contributes to `V`.
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    fn mark_missing(&mut self, table: TableId) {
+        self.missing.push(table);
+    }
+}
+
+/// Resolves all dimensions reachable from `start` (typically the root),
+/// whose binding is given, by following the extended join graph's edges
+/// through the auxiliary stores.
+pub fn resolve_from<'a>(
+    graph: &ExtendedJoinGraph,
+    aux: &'a BTreeMap<TableId, AuxStore>,
+    start: TableId,
+    start_binding: Binding<'a>,
+) -> Resolution<'a> {
+    let mut res = Resolution::new();
+    res.bind(start, start_binding);
+    let mut stack = vec![start];
+    while let Some(t) = stack.pop() {
+        let Some(binding) = res.binding(t) else {
+            continue;
+        };
+        for edge in graph.children(t) {
+            let Some(store) = aux.get(&edge.to) else {
+                // Only the root is ever omitted, and the root has no parent;
+                // a missing child store would be a derivation bug.
+                res.mark_missing(edge.to);
+                continue;
+            };
+            match binding.value(edge.fk_col) {
+                Some(fk_value) => match store.lookup_by_key(fk_value) {
+                    Some((row, _)) => {
+                        res.bind(
+                            edge.to,
+                            Binding::AuxGroup {
+                                srcs: store.group_srcs(),
+                                row,
+                            },
+                        );
+                        stack.push(edge.to);
+                    }
+                    None => res.mark_missing(edge.to),
+                },
+                None => res.mark_missing(edge.to),
+            }
+        }
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_algebra::{Aggregate, CmpOp, ColRef, Condition, GpsjView, SelectItem};
+    use md_core::{derive, DerivedPlan};
+    use md_relation::{row, Catalog, DataType, Schema};
+
+    fn snowflake() -> (Catalog, DerivedPlan, TableId, TableId, TableId) {
+        let mut cat = Catalog::new();
+        let category = cat
+            .add_table(
+                "category",
+                Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]),
+                0,
+            )
+            .unwrap();
+        let product = cat
+            .add_table(
+                "product",
+                Schema::from_pairs(&[("id", DataType::Int), ("categoryid", DataType::Int)]),
+                0,
+            )
+            .unwrap();
+        let sale = cat
+            .add_table(
+                "sale",
+                Schema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("productid", DataType::Int),
+                    ("price", DataType::Double),
+                ]),
+                0,
+            )
+            .unwrap();
+        cat.add_foreign_key(sale, 1, product).unwrap();
+        cat.add_foreign_key(product, 1, category).unwrap();
+        let view = GpsjView::new(
+            "by_category",
+            vec![sale, product, category],
+            vec![
+                SelectItem::group_by(ColRef::new(category, 1), "name"),
+                SelectItem::agg(Aggregate::count_star(), "n"),
+            ],
+            vec![
+                Condition::eq_cols(ColRef::new(sale, 1), ColRef::new(product, 0)),
+                Condition::eq_cols(ColRef::new(product, 1), ColRef::new(category, 0)),
+                Condition::cmp_lit(ColRef::new(category, 1), CmpOp::Ne, "discontinued"),
+            ],
+        );
+        let plan = derive(&view, &cat).unwrap();
+        (cat, plan, sale, product, category)
+    }
+
+    fn stores(cat: &Catalog, plan: &DerivedPlan) -> BTreeMap<TableId, AuxStore> {
+        plan.materialized()
+            .map(|def| (def.table, AuxStore::new(def.clone(), cat).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn resolves_two_hop_chain() {
+        let (cat, plan, sale, product, category) = snowflake();
+        let mut aux = stores(&cat, &plan);
+        aux.get_mut(&category)
+            .unwrap()
+            .apply_source_row(&row![5, "food"], 1)
+            .unwrap();
+        aux.get_mut(&product)
+            .unwrap()
+            .apply_source_row(&row![10, 5], 1)
+            .unwrap();
+
+        let fact = row![100, 10, 9.0];
+        let res = resolve_from(&plan.graph, &aux, sale, Binding::Source(&fact));
+        assert!(res.is_complete());
+        assert_eq!(
+            res.value(ColRef::new(category, 1)),
+            Some(&Value::str("food"))
+        );
+        assert_eq!(res.value(ColRef::new(product, 0)), Some(&Value::Int(10)));
+        // The fact's own columns resolve through the source binding.
+        assert_eq!(res.value(ColRef::new(sale, 2)), Some(&Value::Double(9.0)));
+    }
+
+    #[test]
+    fn missing_dimension_is_reported() {
+        let (cat, plan, sale, product, category) = snowflake();
+        let mut aux = stores(&cat, &plan);
+        // Product present, its category absent (e.g. filtered by the local
+        // condition).
+        aux.get_mut(&product)
+            .unwrap()
+            .apply_source_row(&row![10, 5], 1)
+            .unwrap();
+        let fact = row![100, 10, 9.0];
+        let res = resolve_from(&plan.graph, &aux, sale, Binding::Source(&fact));
+        assert!(!res.is_complete());
+        assert_eq!(res.missing(), &[category]);
+        // The resolved prefix is still usable.
+        assert!(res.binding(product).is_some());
+    }
+
+    #[test]
+    fn missing_first_hop_stops_descent() {
+        let (cat, plan, sale, product, _) = snowflake();
+        let aux = stores(&cat, &plan);
+        let fact = row![100, 10, 9.0];
+        let res = resolve_from(&plan.graph, &aux, sale, Binding::Source(&fact));
+        assert_eq!(res.missing(), &[product]);
+        assert!(res.binding(product).is_none());
+    }
+
+    #[test]
+    fn aux_group_binding_exposes_only_retained_columns() {
+        let (cat, plan, _, product, _) = snowflake();
+        let _ = cat;
+        let aux_def = plan.aux_for(product).unwrap();
+        let srcs = aux_def.group_source_cols();
+        let stored = row![10, 5];
+        let b = Binding::AuxGroup {
+            srcs: &srcs,
+            row: &stored,
+        };
+        assert_eq!(b.value(0), Some(&Value::Int(10)));
+        assert_eq!(b.value(1), Some(&Value::Int(5)));
+        assert_eq!(b.value(9), None);
+    }
+}

@@ -1,0 +1,318 @@
+//! Snapshot & restore of engine state.
+//!
+//! The premise of the paper is that the sources are unreachable — so the
+//! warehouse's state (the summary view, the auxiliary views and the
+//! maintenance indexes) must survive process restarts *without* an
+//! initial reload. [`MaintenanceEngine::snapshot`] serializes everything
+//! into a versioned binary image; [`MaintenanceEngine::restore`] rebuilds
+//! an identical engine from it, given the same derived plan. A plan
+//! fingerprint in the header rejects images taken under a different view
+//! definition or catalog.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use md_core::DerivedPlan;
+use md_relation::{Catalog, Decoder, Encoder, TableId};
+
+use crate::engine::{MaintStats, MaintenanceEngine};
+use crate::error::{MaintainError, Result};
+use crate::store::AuxGroupState;
+use crate::summary::{AggState, GroupState};
+
+/// Magic bytes opening every engine snapshot.
+pub const ENGINE_MAGIC: &[u8; 4] = b"MDWE";
+/// Snapshot format version.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// A stable fingerprint of a derived plan, used to reject snapshots taken
+/// under a different view definition, contracts or catalog.
+pub fn plan_fingerprint(plan: &DerivedPlan) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{:?}", plan.view).hash(&mut h);
+    for entry in &plan.aux {
+        format!("{entry:?}").hash(&mut h);
+    }
+    format!("{:?}", plan.regime).hash(&mut h);
+    h.finish()
+}
+
+impl MaintenanceEngine {
+    /// Serializes the engine's full state (auxiliary stores, summary,
+    /// group index, counters) into a self-describing binary image.
+    ///
+    /// Fails if any group has stale non-CSMAS values (cannot happen
+    /// between [`MaintenanceEngine::apply`] calls — staleness is flushed
+    /// per batch).
+    pub fn snapshot(&self) -> Result<Vec<u8>> {
+        let mut e = Encoder::new();
+        e.put_u8(ENGINE_MAGIC[0]);
+        e.put_u8(ENGINE_MAGIC[1]);
+        e.put_u8(ENGINE_MAGIC[2]);
+        e.put_u8(ENGINE_MAGIC[3]);
+        e.put_u8(SNAPSHOT_VERSION);
+        e.put_u64(plan_fingerprint(self.plan()));
+
+        let stats = self.stats();
+        e.put_u64(stats.rows_processed);
+        e.put_u64(stats.groups_recomputed);
+        e.put_u64(stats.summary_rebuilds);
+        e.put_u64(stats.dim_noop_changes);
+        e.put_u64(stats.dim_targeted_updates);
+
+        // Auxiliary stores, ordered by table id (BTreeMap iteration).
+        let stores: Vec<_> = self.aux_stores().collect();
+        e.put_u32(stores.len() as u32);
+        for store in stores {
+            e.put_u32(store.def().table.0 as u32);
+            e.put_u32(store.len() as u32);
+            for (key, state) in store.iter() {
+                e.put_row(key);
+                e.put_u32(state.sums.len() as u32);
+                for v in &state.sums {
+                    e.put_value(v);
+                }
+                e.put_u64(state.cnt);
+            }
+        }
+
+        // Summary groups.
+        e.put_u32(self.summary().len() as u32);
+        for (key, state) in self.summary().iter() {
+            e.put_row(key);
+            e.put_u64(state.hidden_cnt);
+            e.put_u32(state.aggs.len() as u32);
+            for agg in &state.aggs {
+                encode_agg_state(&mut e, agg)?;
+            }
+        }
+
+        // Group index.
+        let index = self.group_index_for_snapshot();
+        e.put_u32(index.len() as u32);
+        for (vgroup, entries) in index {
+            e.put_row(vgroup);
+            e.put_u32(entries.len() as u32);
+            for (root_key, refcount) in entries {
+                e.put_row(root_key);
+                e.put_i64(*refcount);
+            }
+        }
+
+        Ok(e.into_bytes())
+    }
+
+    /// Rebuilds an engine from a snapshot image. `plan` and `catalog` must
+    /// match the ones the snapshot was taken under (checked via the plan
+    /// fingerprint).
+    pub fn restore(plan: DerivedPlan, catalog: &Catalog, bytes: &[u8]) -> Result<Self> {
+        let mut d = Decoder::new(bytes);
+        let magic = [
+            d.take_u8().map_err(MaintainError::from)?,
+            d.take_u8().map_err(MaintainError::from)?,
+            d.take_u8().map_err(MaintainError::from)?,
+            d.take_u8().map_err(MaintainError::from)?,
+        ];
+        if &magic != ENGINE_MAGIC {
+            return Err(MaintainError::InvariantViolation(
+                "not an engine snapshot (bad magic)".into(),
+            ));
+        }
+        let version = d.take_u8().map_err(MaintainError::from)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(MaintainError::InvariantViolation(format!(
+                "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+            )));
+        }
+        let fp = d.take_u64().map_err(MaintainError::from)?;
+        if fp != plan_fingerprint(&plan) {
+            return Err(MaintainError::InvariantViolation(
+                "snapshot was taken under a different view definition, contracts or \
+                 catalog (plan fingerprint mismatch)"
+                    .into(),
+            ));
+        }
+
+        let mut engine = MaintenanceEngine::new(plan, catalog)?;
+        let stats = MaintStats {
+            rows_processed: d.take_u64().map_err(MaintainError::from)?,
+            groups_recomputed: d.take_u64().map_err(MaintainError::from)?,
+            summary_rebuilds: d.take_u64().map_err(MaintainError::from)?,
+            dim_noop_changes: d.take_u64().map_err(MaintainError::from)?,
+            dim_targeted_updates: d.take_u64().map_err(MaintainError::from)?,
+        };
+        engine.set_stats(stats);
+
+        let n_stores = d.take_u32().map_err(MaintainError::from)?;
+        for _ in 0..n_stores {
+            let table = TableId(d.take_u32().map_err(MaintainError::from)? as usize);
+            let n_groups = d.take_u32().map_err(MaintainError::from)?;
+            for _ in 0..n_groups {
+                let key = d.take_row().map_err(MaintainError::from)?;
+                let n_sums = d.take_u32().map_err(MaintainError::from)?;
+                // Untrusted length: clamp the pre-allocation to what the
+                // input could possibly hold.
+                let mut sums = Vec::with_capacity((n_sums as usize).min(d.remaining()));
+                for _ in 0..n_sums {
+                    sums.push(d.take_value().map_err(MaintainError::from)?);
+                }
+                let cnt = d.take_u64().map_err(MaintainError::from)?;
+                engine.install_aux_group(table, key, AuxGroupState { sums, cnt })?;
+            }
+        }
+
+        let n_summary = d.take_u32().map_err(MaintainError::from)?;
+        for _ in 0..n_summary {
+            let key = d.take_row().map_err(MaintainError::from)?;
+            let hidden_cnt = d.take_u64().map_err(MaintainError::from)?;
+            let n_aggs = d.take_u32().map_err(MaintainError::from)?;
+            let mut aggs = Vec::with_capacity((n_aggs as usize).min(d.remaining()));
+            for _ in 0..n_aggs {
+                aggs.push(decode_agg_state(&mut d)?);
+            }
+            engine.install_summary_group(key, GroupState { aggs, hidden_cnt });
+        }
+
+        let n_index = d.take_u32().map_err(MaintainError::from)?;
+        for _ in 0..n_index {
+            let vgroup = d.take_row().map_err(MaintainError::from)?;
+            let m = d.take_u32().map_err(MaintainError::from)?;
+            let mut entries = Vec::with_capacity((m as usize).min(d.remaining()));
+            for _ in 0..m {
+                let root_key = d.take_row().map_err(MaintainError::from)?;
+                let refcount = d.take_i64().map_err(MaintainError::from)?;
+                entries.push((root_key, refcount));
+            }
+            engine.install_group_index_entry(vgroup, entries);
+        }
+
+        if !d.is_exhausted() {
+            return Err(MaintainError::InvariantViolation(format!(
+                "snapshot has {} trailing bytes",
+                d.remaining()
+            )));
+        }
+        engine.rebuild_fk_index();
+        Ok(engine)
+    }
+}
+
+fn encode_agg_state(e: &mut Encoder, state: &AggState) -> Result<()> {
+    match state {
+        AggState::Count => e.put_u8(0),
+        AggState::Sum(v) => {
+            e.put_u8(1);
+            e.put_value(v);
+        }
+        AggState::Avg(total) => {
+            e.put_u8(2);
+            e.put_f64(*total);
+        }
+        AggState::MinMax { func, value, stale } => {
+            if *stale {
+                return Err(MaintainError::InvariantViolation(
+                    "cannot snapshot a stale MIN/MAX state".into(),
+                ));
+            }
+            e.put_u8(3);
+            e.put_u8(match func {
+                md_algebra::AggFunc::Min => 0,
+                md_algebra::AggFunc::Max => 1,
+                other => {
+                    return Err(MaintainError::InvariantViolation(format!(
+                        "MinMax state holds {other}"
+                    )))
+                }
+            });
+            e.put_value(value);
+        }
+        AggState::Distinct { value, stale } => {
+            if *stale {
+                return Err(MaintainError::InvariantViolation(
+                    "cannot snapshot a stale DISTINCT state".into(),
+                ));
+            }
+            e.put_u8(4);
+            e.put_value(value);
+        }
+    }
+    Ok(())
+}
+
+fn decode_agg_state(d: &mut Decoder<'_>) -> Result<AggState> {
+    Ok(match d.take_u8().map_err(MaintainError::from)? {
+        0 => AggState::Count,
+        1 => AggState::Sum(d.take_value().map_err(MaintainError::from)?),
+        2 => AggState::Avg(d.take_f64().map_err(MaintainError::from)?),
+        3 => {
+            let func = match d.take_u8().map_err(MaintainError::from)? {
+                0 => md_algebra::AggFunc::Min,
+                1 => md_algebra::AggFunc::Max,
+                t => {
+                    return Err(MaintainError::InvariantViolation(format!(
+                        "corrupt snapshot: unknown extremum tag {t}"
+                    )))
+                }
+            };
+            AggState::MinMax {
+                func,
+                value: d.take_value().map_err(MaintainError::from)?,
+                stale: false,
+            }
+        }
+        4 => AggState::Distinct {
+            value: d.take_value().map_err(MaintainError::from)?,
+            stale: false,
+        },
+        t => {
+            return Err(MaintainError::InvariantViolation(format!(
+                "corrupt snapshot: unknown aggregate-state tag {t}"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_state_round_trips() {
+        use md_relation::Value;
+        let states = vec![
+            AggState::Count,
+            AggState::Sum(Value::Double(12.5)),
+            AggState::Avg(7.25),
+            AggState::MinMax {
+                func: md_algebra::AggFunc::Max,
+                value: Value::Int(9),
+                stale: false,
+            },
+            AggState::Distinct {
+                value: Value::Int(3),
+                stale: false,
+            },
+        ];
+        let mut e = Encoder::new();
+        for s in &states {
+            encode_agg_state(&mut e, s).unwrap();
+        }
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        for s in &states {
+            assert_eq!(&decode_agg_state(&mut d).unwrap(), s);
+        }
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn stale_states_refuse_to_snapshot() {
+        let mut e = Encoder::new();
+        let s = AggState::MinMax {
+            func: md_algebra::AggFunc::Min,
+            value: md_relation::Value::Int(1),
+            stale: true,
+        };
+        assert!(encode_agg_state(&mut e, &s).is_err());
+    }
+}

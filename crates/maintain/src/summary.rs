@@ -1,0 +1,551 @@
+//! The materialized summary table and its per-group aggregate states.
+//!
+//! A [`SummaryStore`] holds the contents of the GPSJ view `V` keyed by its
+//! group-by attributes. CSMAS aggregates (`COUNT`/`SUM`/`AVG`) are
+//! maintained purely from their old value and the change (Definition 1);
+//! `MIN`/`MAX` are maintained incrementally on insertion (they are SMAs
+//! w.r.t. `⊕`, Table 1) and flagged for recomputation from the auxiliary
+//! views when the current extremum is deleted; `DISTINCT` aggregates are
+//! always recomputed from the auxiliary views.
+//!
+//! The store keeps a hidden per-group `COUNT(*)` even when the view does
+//! not project one — this is the standard companion count (Table 1: `SUM`
+//! is a SMAS w.r.t. deletions only "if COUNT is included") that detects
+//! when a group becomes empty and must be deleted from `V`.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use md_algebra::{having_passes, AggFunc, Aggregate, GpsjView, HavingCond, SelectItem};
+use md_relation::{Bag, Row, Value};
+
+use crate::error::{MaintainError, Result};
+
+/// Incrementally maintained state of one aggregate within one group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    /// `COUNT(*)` / `COUNT(a)`: emitted from the group's hidden count.
+    Count,
+    /// `SUM(a)`: the running sum.
+    Sum(Value),
+    /// `AVG(a)`: the running sum; emitted as `sum / hidden count`.
+    Avg(f64),
+    /// `MIN(a)`/`MAX(a)`: the current extremum. `stale` is set when the
+    /// extremum was deleted and the value must be recomputed from the
+    /// auxiliary views before it can be read.
+    MinMax {
+        /// Which extremum.
+        func: AggFunc,
+        /// Current value (meaningless while `stale`).
+        value: Value,
+        /// Whether a recomputation from `X` is pending.
+        stale: bool,
+    },
+    /// A `DISTINCT` aggregate: its current value, recomputed from the
+    /// auxiliary views after every change to the group.
+    Distinct {
+        /// Current value (meaningless while `stale`).
+        value: Value,
+        /// Whether a recomputation from `X` is pending.
+        stale: bool,
+    },
+}
+
+/// The state of one summary group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupState {
+    /// Aggregate states, parallel to the view's aggregate select items.
+    pub aggs: Vec<AggState>,
+    /// Hidden `COUNT(*)`: number of joined base tuples in the group.
+    pub hidden_cnt: u64,
+}
+
+/// The outcome of applying one row occurrence to the summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// The group disappeared (hidden count reached zero).
+    pub removed: bool,
+    /// Indices (into the aggregate item list) that are now stale and must
+    /// be recomputed from the auxiliary views.
+    pub stale_aggs: Vec<usize>,
+}
+
+/// The materialized summary view.
+#[derive(Debug, Clone)]
+pub struct SummaryStore {
+    select: Vec<SelectItem>,
+    /// The aggregates, in select order (cached).
+    aggs: Vec<Aggregate>,
+    /// `HAVING` output filter (paper Section 4 extension). Groups failing
+    /// it are maintained internally — required for self-maintainability,
+    /// since later changes can move a group across the threshold — and
+    /// only suppressed at read time.
+    having: Vec<HavingCond>,
+    groups: HashMap<Row, GroupState>,
+}
+
+impl SummaryStore {
+    /// Creates an empty summary store for `view`.
+    pub fn new(view: &GpsjView) -> Self {
+        SummaryStore {
+            select: view.select.clone(),
+            aggs: view.aggregates().into_iter().copied().collect(),
+            having: view.having.clone(),
+            groups: HashMap::new(),
+        }
+    }
+
+    /// Number of groups (rows of `V`).
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Returns `true` when `V` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The aggregates, in select order.
+    pub fn aggregates(&self) -> &[Aggregate] {
+        &self.aggs
+    }
+
+    /// Iterates over `(group key, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Row, &GroupState)> {
+        self.groups.iter()
+    }
+
+    /// The state of one group.
+    pub fn group(&self, key: &Row) -> Option<&GroupState> {
+        self.groups.get(key)
+    }
+
+    /// Applies one inserted joined tuple to group `key`. `args[i]` is the
+    /// argument value of the i-th aggregate item (`None` for `COUNT(*)`).
+    pub fn apply_insert(&mut self, key: Row, args: &[Option<Value>]) -> Result<ApplyOutcome> {
+        if args.len() != self.aggs.len() {
+            return Err(MaintainError::InvariantViolation(format!(
+                "expected {} aggregate arguments, got {}",
+                self.aggs.len(),
+                args.len()
+            )));
+        }
+        let state = match self.groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(fresh_state_for(&self.aggs, args)?)
+            }
+        };
+        state.hidden_cnt += 1;
+        let mut stale = Vec::new();
+        if state.hidden_cnt == 1 {
+            // First row: states already initialized from this row's values.
+            for (i, a) in state.aggs.iter().enumerate() {
+                if matches!(a, AggState::Distinct { .. }) {
+                    stale.push(i);
+                }
+            }
+            return Ok(ApplyOutcome {
+                removed: false,
+                stale_aggs: stale,
+            });
+        }
+        for (i, (agg_state, arg)) in state.aggs.iter_mut().zip(args).enumerate() {
+            match agg_state {
+                AggState::Count => {}
+                AggState::Sum(total) => {
+                    *total = total.add(required(arg)?).map_err(MaintainError::from)?;
+                }
+                AggState::Avg(total) => {
+                    *total += required(arg)?.as_double().map_err(MaintainError::from)?;
+                }
+                AggState::MinMax {
+                    func,
+                    value,
+                    stale: st,
+                } => {
+                    // SMA w.r.t. insertion: min/max of old value and input.
+                    if !*st {
+                        let v = required(arg)?;
+                        let ord = v.try_cmp(value).map_err(MaintainError::from)?;
+                        let replace = match func {
+                            AggFunc::Min => ord == Ordering::Less,
+                            AggFunc::Max => ord == Ordering::Greater,
+                            _ => unreachable!("MinMax holds only MIN/MAX"),
+                        };
+                        if replace {
+                            *value = v.clone();
+                        }
+                    }
+                }
+                AggState::Distinct { stale: st, .. } => {
+                    *st = true;
+                    stale.push(i);
+                }
+            }
+        }
+        Ok(ApplyOutcome {
+            removed: false,
+            stale_aggs: stale,
+        })
+    }
+
+    /// Applies one deleted joined tuple to group `key`.
+    pub fn apply_delete(&mut self, key: &Row, args: &[Option<Value>]) -> Result<ApplyOutcome> {
+        let Some(state) = self.groups.get_mut(key) else {
+            return Err(MaintainError::InvariantViolation(format!(
+                "delete against absent summary group {key}"
+            )));
+        };
+        if state.hidden_cnt == 0 {
+            return Err(MaintainError::InvariantViolation(format!(
+                "summary group {key} already empty"
+            )));
+        }
+        state.hidden_cnt -= 1;
+        if state.hidden_cnt == 0 {
+            self.groups.remove(key);
+            return Ok(ApplyOutcome {
+                removed: true,
+                stale_aggs: Vec::new(),
+            });
+        }
+        let mut stale = Vec::new();
+        for (i, (agg_state, arg)) in state.aggs.iter_mut().zip(args).enumerate() {
+            match agg_state {
+                AggState::Count => {}
+                AggState::Sum(total) => {
+                    *total = total.sub(required(arg)?).map_err(MaintainError::from)?;
+                }
+                AggState::Avg(total) => {
+                    *total -= required(arg)?.as_double().map_err(MaintainError::from)?;
+                }
+                AggState::MinMax {
+                    value, stale: st, ..
+                } => {
+                    // Deleting the current extremum requires recomputation
+                    // from the auxiliary views (MIN/MAX are not SMAs w.r.t.
+                    // deletion, Table 1).
+                    if !*st && required(arg)? == value {
+                        *st = true;
+                    }
+                    if *st {
+                        stale.push(i);
+                    }
+                }
+                AggState::Distinct { stale: st, .. } => {
+                    *st = true;
+                    stale.push(i);
+                }
+            }
+        }
+        Ok(ApplyOutcome {
+            removed: false,
+            stale_aggs: stale,
+        })
+    }
+
+    /// Shifts a CSMAS state in place by a precomputed delta: `SUM` states
+    /// add it, `AVG` states add it to the running sum. Used by the
+    /// targeted dimension-update fast path, where every base row of a
+    /// group moved by the same amount.
+    pub fn shift_csmas(&mut self, key: &Row, agg_idx: usize, shift: &Value) -> Result<()> {
+        let state = self.groups.get_mut(key).ok_or_else(|| {
+            MaintainError::InvariantViolation(format!("shift against absent summary group {key}"))
+        })?;
+        match &mut state.aggs[agg_idx] {
+            AggState::Sum(total) => {
+                *total = total.add(shift).map_err(MaintainError::from)?;
+            }
+            AggState::Avg(total) => {
+                *total += shift.as_double().map_err(MaintainError::from)?;
+            }
+            other => {
+                return Err(MaintainError::InvariantViolation(format!(
+                    "shift_csmas on non-shiftable state {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrites the value of aggregate item `agg_idx` in `key`'s group
+    /// after a recomputation from the auxiliary views, clearing staleness.
+    pub fn set_recomputed(&mut self, key: &Row, agg_idx: usize, value: Value) -> Result<()> {
+        let state = self.groups.get_mut(key).ok_or_else(|| {
+            MaintainError::InvariantViolation(format!(
+                "recompute against absent summary group {key}"
+            ))
+        })?;
+        match &mut state.aggs[agg_idx] {
+            AggState::MinMax {
+                value: v, stale, ..
+            } => {
+                *v = value;
+                *stale = false;
+            }
+            AggState::Distinct { value: v, stale } => {
+                *v = value;
+                *stale = false;
+            }
+            other => {
+                return Err(MaintainError::InvariantViolation(format!(
+                    "set_recomputed on non-recomputable state {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs a fully-computed group (used by rebuilds).
+    pub fn install_group(&mut self, key: Row, state: GroupState) {
+        self.groups.insert(key, state);
+    }
+
+    /// Removes every group (used by rebuilds).
+    pub fn clear(&mut self) {
+        self.groups.clear();
+    }
+
+    /// Emits the summary contents as output rows in select order, applying
+    /// the view's `HAVING` filter. Returns an error if any group still has
+    /// stale aggregate values.
+    pub fn to_bag(&self) -> Result<Bag> {
+        let mut out = Bag::new();
+        for (key, state) in &self.groups {
+            let row = self.emit_row(key, state)?;
+            if having_passes(&self.having, &row).map_err(MaintainError::from)? {
+                out.insert(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Emits the *unfiltered* contents (every maintained group, ignoring
+    /// `HAVING`) — what the warehouse actually stores.
+    pub fn to_bag_unfiltered(&self) -> Result<Bag> {
+        let mut out = Bag::new();
+        for (key, state) in &self.groups {
+            out.insert(self.emit_row(key, state)?);
+        }
+        Ok(out)
+    }
+
+    /// Renders one group as an output row.
+    pub fn emit_row(&self, key: &Row, state: &GroupState) -> Result<Row> {
+        let mut values = Vec::with_capacity(self.select.len());
+        let mut gi = 0;
+        let mut ai = 0;
+        for item in &self.select {
+            match item {
+                SelectItem::GroupBy { .. } => {
+                    values.push(key[gi].clone());
+                    gi += 1;
+                }
+                SelectItem::Agg { .. } => {
+                    let v = match &state.aggs[ai] {
+                        AggState::Count => Value::Int(state.hidden_cnt as i64),
+                        AggState::Sum(total) => total.clone(),
+                        AggState::Avg(total) => Value::Double(*total / state.hidden_cnt as f64),
+                        AggState::MinMax { value, stale, .. }
+                        | AggState::Distinct { value, stale } => {
+                            if *stale {
+                                return Err(MaintainError::InvariantViolation(format!(
+                                    "stale aggregate read in group {key}; recompute from the \
+                                     auxiliary views first"
+                                )));
+                            }
+                            value.clone()
+                        }
+                    };
+                    values.push(v);
+                    ai += 1;
+                }
+            }
+        }
+        Ok(Row::new(values))
+    }
+
+    /// Storage footprint of `V` in the paper's model.
+    pub fn paper_bytes(&self) -> u64 {
+        self.groups.len() as u64 * self.select.len() as u64 * Value::PAPER_FIELD_BYTES
+    }
+}
+
+/// Builds the initial aggregate states for a brand-new group from the first
+/// row's argument values.
+fn fresh_state_for(aggs: &[Aggregate], args: &[Option<Value>]) -> Result<GroupState> {
+    let states = aggs
+        .iter()
+        .zip(args)
+        .map(|(agg, arg)| {
+            Ok(match (agg.func, agg.distinct) {
+                (AggFunc::Count, false) => AggState::Count,
+                (AggFunc::Sum, false) => AggState::Sum(required(arg)?.clone()),
+                (AggFunc::Avg, false) => {
+                    AggState::Avg(required(arg)?.as_double().map_err(MaintainError::from)?)
+                }
+                (AggFunc::Min | AggFunc::Max, _) => AggState::MinMax {
+                    func: agg.func,
+                    value: required(arg)?.clone(),
+                    stale: false,
+                },
+                (_, true) => AggState::Distinct {
+                    value: Value::Int(0),
+                    stale: true,
+                },
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(GroupState {
+        aggs: states,
+        hidden_cnt: 0,
+    })
+}
+
+fn required(arg: &Option<Value>) -> Result<&Value> {
+    arg.as_ref()
+        .ok_or_else(|| MaintainError::InvariantViolation("missing aggregate argument value".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_algebra::{ColRef, Condition, GpsjView};
+    use md_relation::{row, TableId};
+
+    fn view() -> GpsjView {
+        let t = TableId(0);
+        GpsjView::new(
+            "v",
+            vec![t],
+            vec![
+                SelectItem::group_by(ColRef::new(t, 0), "g"),
+                SelectItem::agg(Aggregate::count_star(), "n"),
+                SelectItem::agg(Aggregate::of(AggFunc::Sum, ColRef::new(t, 1)), "s"),
+                SelectItem::agg(Aggregate::of(AggFunc::Max, ColRef::new(t, 1)), "mx"),
+            ],
+            Vec::<Condition>::new(),
+        )
+    }
+
+    fn args(v: f64) -> Vec<Option<Value>> {
+        vec![None, Some(Value::Double(v)), Some(Value::Double(v))]
+    }
+
+    #[test]
+    fn insert_creates_and_accumulates() {
+        let mut s = SummaryStore::new(&view());
+        s.apply_insert(row![1], &args(5.0)).unwrap();
+        s.apply_insert(row![1], &args(7.0)).unwrap();
+        s.apply_insert(row![2], &args(3.0)).unwrap();
+        assert_eq!(s.len(), 2);
+        let bag = s.to_bag().unwrap();
+        assert_eq!(bag.count(&row![1, 2, 12.0, 7.0]), 1);
+        assert_eq!(bag.count(&row![2, 1, 3.0, 3.0]), 1);
+    }
+
+    #[test]
+    fn max_insert_fast_path() {
+        let mut s = SummaryStore::new(&view());
+        s.apply_insert(row![1], &args(5.0)).unwrap();
+        let out = s.apply_insert(row![1], &args(9.0)).unwrap();
+        // MAX updated incrementally, nothing stale.
+        assert!(out.stale_aggs.is_empty());
+        let bag = s.to_bag().unwrap();
+        assert_eq!(bag.count(&row![1, 2, 14.0, 9.0]), 1);
+    }
+
+    #[test]
+    fn delete_non_extremum_stays_fresh() {
+        let mut s = SummaryStore::new(&view());
+        s.apply_insert(row![1], &args(5.0)).unwrap();
+        s.apply_insert(row![1], &args(9.0)).unwrap();
+        let out = s.apply_delete(&row![1], &args(5.0)).unwrap();
+        assert!(!out.removed);
+        assert!(out.stale_aggs.is_empty());
+        let bag = s.to_bag().unwrap();
+        assert_eq!(bag.count(&row![1, 1, 9.0, 9.0]), 1);
+    }
+
+    #[test]
+    fn deleting_the_extremum_marks_stale() {
+        let mut s = SummaryStore::new(&view());
+        s.apply_insert(row![1], &args(5.0)).unwrap();
+        s.apply_insert(row![1], &args(9.0)).unwrap();
+        let out = s.apply_delete(&row![1], &args(9.0)).unwrap();
+        assert_eq!(out.stale_aggs, vec![2]);
+        // Reading a stale value is an error…
+        assert!(s.to_bag().is_err());
+        // …until the engine recomputes it from the auxiliary views.
+        s.set_recomputed(&row![1], 2, Value::Double(5.0)).unwrap();
+        let bag = s.to_bag().unwrap();
+        assert_eq!(bag.count(&row![1, 1, 5.0, 5.0]), 1);
+    }
+
+    #[test]
+    fn group_disappears_at_zero() {
+        let mut s = SummaryStore::new(&view());
+        s.apply_insert(row![1], &args(5.0)).unwrap();
+        let out = s.apply_delete(&row![1], &args(5.0)).unwrap();
+        assert!(out.removed);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn delete_from_absent_group_errors() {
+        let mut s = SummaryStore::new(&view());
+        assert!(s.apply_delete(&row![1], &args(5.0)).is_err());
+    }
+
+    #[test]
+    fn avg_emits_sum_over_hidden_count() {
+        let t = TableId(0);
+        let v = GpsjView::new(
+            "v",
+            vec![t],
+            vec![
+                SelectItem::group_by(ColRef::new(t, 0), "g"),
+                SelectItem::agg(Aggregate::of(AggFunc::Avg, ColRef::new(t, 1)), "a"),
+            ],
+            Vec::<Condition>::new(),
+        );
+        let mut s = SummaryStore::new(&v);
+        s.apply_insert(row![1], &[Some(Value::Double(1.0))])
+            .unwrap();
+        s.apply_insert(row![1], &[Some(Value::Double(2.0))])
+            .unwrap();
+        let bag = s.to_bag().unwrap();
+        assert_eq!(bag.count(&row![1, 1.5]), 1);
+    }
+
+    #[test]
+    fn distinct_is_always_stale_after_changes() {
+        let t = TableId(0);
+        let v = GpsjView::new(
+            "v",
+            vec![t],
+            vec![
+                SelectItem::group_by(ColRef::new(t, 0), "g"),
+                SelectItem::agg(
+                    Aggregate::distinct_of(AggFunc::Count, ColRef::new(t, 1)),
+                    "d",
+                ),
+            ],
+            Vec::<Condition>::new(),
+        );
+        let mut s = SummaryStore::new(&v);
+        let out = s.apply_insert(row![1], &[Some(Value::str("a"))]).unwrap();
+        assert_eq!(out.stale_aggs, vec![0]);
+        s.set_recomputed(&row![1], 0, Value::Int(1)).unwrap();
+        assert_eq!(s.to_bag().unwrap().count(&row![1, 1]), 1);
+    }
+
+    #[test]
+    fn paper_bytes_counts_view_fields() {
+        let mut s = SummaryStore::new(&view());
+        s.apply_insert(row![1], &args(5.0)).unwrap();
+        // 1 row × 4 fields × 4 bytes.
+        assert_eq!(s.paper_bytes(), 16);
+    }
+}

@@ -1,0 +1,720 @@
+//! End-to-end tests of the maintenance engine against the recomputation
+//! oracle: after every change stream, the incrementally maintained
+//! `{V} ∪ X` must equal a fresh evaluation from the base tables.
+
+use md_algebra::{AggFunc, Aggregate, CmpOp, ColRef, Condition, GpsjView, SelectItem};
+use md_core::derive;
+use md_maintain::MaintenanceEngine;
+use md_relation::{row, Catalog, Change, DataType, Database, Schema, TableId, Value};
+
+/// The paper's running-example star schema with a small instance.
+struct Star {
+    cat: Catalog,
+    db: Database,
+    time: TableId,
+    product: TableId,
+    sale: TableId,
+}
+
+fn star(tight_contracts: bool) -> Star {
+    let mut cat = Catalog::new();
+    let time = cat
+        .add_table(
+            "time",
+            Schema::from_pairs(&[
+                ("id", DataType::Int),
+                ("month", DataType::Int),
+                ("year", DataType::Int),
+            ]),
+            0,
+        )
+        .unwrap();
+    let product = cat
+        .add_table(
+            "product",
+            Schema::from_pairs(&[("id", DataType::Int), ("brand", DataType::Str)]),
+            0,
+        )
+        .unwrap();
+    let sale = cat
+        .add_table(
+            "sale",
+            Schema::from_pairs(&[
+                ("id", DataType::Int),
+                ("timeid", DataType::Int),
+                ("productid", DataType::Int),
+                ("price", DataType::Double),
+            ]),
+            0,
+        )
+        .unwrap();
+    cat.add_foreign_key(sale, 1, time).unwrap();
+    cat.add_foreign_key(sale, 2, product).unwrap();
+    if tight_contracts {
+        cat.set_append_only(time).unwrap();
+        cat.set_updatable_columns(product, &[1]).unwrap(); // brand only
+        cat.set_updatable_columns(sale, &[3]).unwrap(); // price only
+    }
+    let mut db = Database::new(cat.clone());
+    db.insert(time, row![1, 1, 1997]).unwrap();
+    db.insert(time, row![2, 2, 1997]).unwrap();
+    db.insert(time, row![3, 1, 1996]).unwrap();
+    db.insert(product, row![10, "acme"]).unwrap();
+    db.insert(product, row![11, "zeta"]).unwrap();
+    for (id, t, p, price) in [
+        (100, 1, 10, 5.0),
+        (101, 1, 10, 7.0),
+        (102, 1, 11, 3.0),
+        (103, 2, 11, 2.0),
+        (104, 3, 10, 99.0), // 1996 — filtered
+    ] {
+        db.insert(sale, row![id, t, p, price]).unwrap();
+    }
+    Star {
+        cat,
+        db,
+        time,
+        product,
+        sale,
+    }
+}
+
+fn product_sales(s: &Star) -> GpsjView {
+    GpsjView::new(
+        "product_sales",
+        vec![s.sale, s.time, s.product],
+        vec![
+            SelectItem::group_by(ColRef::new(s.time, 1), "month"),
+            SelectItem::agg(
+                Aggregate::of(AggFunc::Sum, ColRef::new(s.sale, 3)),
+                "TotalPrice",
+            ),
+            SelectItem::agg(Aggregate::count_star(), "TotalCount"),
+            SelectItem::agg(
+                Aggregate::distinct_of(AggFunc::Count, ColRef::new(s.product, 1)),
+                "DifferentBrands",
+            ),
+        ],
+        vec![
+            Condition::cmp_lit(ColRef::new(s.time, 2), CmpOp::Eq, 1997i64),
+            Condition::eq_cols(ColRef::new(s.sale, 1), ColRef::new(s.time, 0)),
+            Condition::eq_cols(ColRef::new(s.sale, 2), ColRef::new(s.product, 0)),
+        ],
+    )
+}
+
+/// Builds an engine, loads it, and asserts initial consistency.
+fn engine_for(s: &Star, view: &GpsjView) -> MaintenanceEngine {
+    let plan = derive(view, &s.cat).unwrap();
+    let mut engine = MaintenanceEngine::new(plan, &s.cat).unwrap();
+    engine.initial_load(&s.db).unwrap();
+    assert!(
+        engine.verify_against(&s.db).unwrap(),
+        "initial load diverges"
+    );
+    assert!(engine.verify_aux_against(&s.db).unwrap());
+    engine
+}
+
+/// Applies a database mutation and mirrors its change into the engine.
+fn mirror(engine: &mut MaintenanceEngine, table: TableId, change: Change) {
+    engine.apply(table, &[change]).unwrap();
+}
+
+#[test]
+fn initial_load_matches_oracle() {
+    let s = star(false);
+    let view = product_sales(&s);
+    let engine = engine_for(&s, &view);
+    let bag = engine.summary_bag().unwrap();
+    assert_eq!(bag.count(&row![1, 15.0, 3, 2]), 1);
+    assert_eq!(bag.count(&row![2, 2.0, 1, 1]), 1);
+}
+
+#[test]
+fn fact_inserts_existing_and_new_groups() {
+    let mut s = star(false);
+    let view = product_sales(&s);
+    let mut engine = engine_for(&s, &view);
+
+    // Existing group (month 1).
+    let c = s.db.insert(s.sale, row![200, 1, 11, 10.0]).unwrap();
+    mirror(&mut engine, s.sale, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+
+    // New month needs a new time row first (dependency no-op for V)…
+    let c = s.db.insert(s.time, row![4, 3, 1997]).unwrap();
+    mirror(&mut engine, s.time, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    // …then a sale creating a brand-new group.
+    let c = s.db.insert(s.sale, row![201, 4, 10, 1.5]).unwrap();
+    mirror(&mut engine, s.sale, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert!(engine.verify_aux_against(&s.db).unwrap());
+    assert_eq!(engine.summary_bag().unwrap().count(&row![3, 1.5, 1, 1]), 1);
+}
+
+#[test]
+fn filtered_fact_rows_are_ignored() {
+    let mut s = star(false);
+    let view = product_sales(&s);
+    let mut engine = engine_for(&s, &view);
+    // A 1996 sale: joins a filtered time row, contributes nothing.
+    let c = s.db.insert(s.sale, row![300, 3, 10, 50.0]).unwrap();
+    mirror(&mut engine, s.sale, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert!(engine.verify_aux_against(&s.db).unwrap());
+}
+
+#[test]
+fn fact_deletes_shrink_and_remove_groups() {
+    let mut s = star(false);
+    let view = product_sales(&s);
+    let mut engine = engine_for(&s, &view);
+
+    // Deleting one of three month-1 sales shrinks the group; the DISTINCT
+    // brand count is recomputed from X.
+    let c = s.db.delete(s.sale, &Value::Int(102)).unwrap();
+    mirror(&mut engine, s.sale, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert_eq!(engine.summary_bag().unwrap().count(&row![1, 12.0, 2, 1]), 1);
+
+    // Deleting the only month-2 sale removes the group entirely.
+    let c = s.db.delete(s.sale, &Value::Int(103)).unwrap();
+    mirror(&mut engine, s.sale, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert_eq!(engine.summary().len(), 1);
+
+    // Stats: the DISTINCT aggregate forced per-group recomputations.
+    assert!(engine.stats().groups_recomputed >= 1);
+}
+
+#[test]
+fn fact_updates_move_between_groups() {
+    let mut s = star(false);
+    let view = product_sales(&s);
+    let mut engine = engine_for(&s, &view);
+    // Move sale 101 from month 1 to month 2 (timeid is exposed under the
+    // default contract; the source emits an update, the engine splits it).
+    let c =
+        s.db.update(s.sale, &Value::Int(101), row![101, 2, 10, 7.0])
+            .unwrap();
+    mirror(&mut engine, s.sale, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert!(engine.verify_aux_against(&s.db).unwrap());
+    let bag = engine.summary_bag().unwrap();
+    assert_eq!(bag.count(&row![1, 8.0, 2, 2]), 1);
+    assert_eq!(bag.count(&row![2, 9.0, 2, 2]), 1);
+}
+
+#[test]
+fn dimension_inserts_on_dependency_edges_are_noops() {
+    let mut s = star(true); // tight contracts: both edges are dependencies
+    let view = product_sales(&s);
+    let mut engine = engine_for(&s, &view);
+    let before = engine.summary_bag().unwrap();
+
+    let c = s.db.insert(s.product, row![12, "nova"]).unwrap();
+    mirror(&mut engine, s.product, c);
+    let c = s.db.insert(s.time, row![5, 4, 1997]).unwrap();
+    mirror(&mut engine, s.time, c);
+
+    assert_eq!(engine.stats().dim_noop_changes, 2);
+    assert_eq!(engine.stats().summary_rebuilds, 0);
+    assert_eq!(engine.summary_bag().unwrap(), before);
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert!(engine.verify_aux_against(&s.db).unwrap());
+}
+
+#[test]
+fn dimension_update_changing_preserved_attr_repairs_summary() {
+    let mut s = star(true);
+    let view = product_sales(&s);
+    let mut engine = engine_for(&s, &view);
+    // Rebranding zeta → acme merges the distinct-brand sets. brand feeds
+    // the DISTINCT aggregate; on this tiny instance the affected groups
+    // cover most of the store, so the cost heuristic picks the full
+    // rebuild. Either path must produce the same (verified) summary.
+    let c =
+        s.db.update(s.product, &Value::Int(11), row![11, "acme"])
+            .unwrap();
+    mirror(&mut engine, s.product, c);
+    let stats = engine.stats();
+    assert!(stats.summary_rebuilds + stats.dim_targeted_updates >= 1);
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert_eq!(engine.summary_bag().unwrap().count(&row![1, 15.0, 3, 1]), 1);
+}
+
+#[test]
+fn exposed_dimension_update_filters_rows_in_and_out() {
+    let mut s = star(false); // default contracts: year is exposed on time
+    let view = product_sales(&s);
+    let mut engine = engine_for(&s, &view);
+    // Move time row 3 from 1996 into 1997: sale 104 (99.0) enters the view.
+    let c =
+        s.db.update(s.time, &Value::Int(3), row![3, 1, 1997])
+            .unwrap();
+    mirror(&mut engine, s.time, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    let bag = engine.summary_bag().unwrap();
+    assert_eq!(bag.count(&row![1, 114.0, 4, 2]), 1);
+
+    // And back out again.
+    let c =
+        s.db.update(s.time, &Value::Int(3), row![3, 1, 1995])
+            .unwrap();
+    mirror(&mut engine, s.time, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert_eq!(engine.summary_bag().unwrap().count(&row![1, 15.0, 3, 2]), 1);
+}
+
+#[test]
+fn product_sales_max_extremum_deletion_recomputes_from_aux() {
+    // Paper Section 3.2's product_sales_max, single-table view.
+    let mut s = star(false);
+    let view = GpsjView::new(
+        "product_sales_max",
+        vec![s.sale],
+        vec![
+            SelectItem::group_by(ColRef::new(s.sale, 2), "productid"),
+            SelectItem::agg(
+                Aggregate::of(AggFunc::Max, ColRef::new(s.sale, 3)),
+                "MaxPrice",
+            ),
+            SelectItem::agg(
+                Aggregate::of(AggFunc::Sum, ColRef::new(s.sale, 3)),
+                "TotalPrice",
+            ),
+            SelectItem::agg(Aggregate::count_star(), "TotalCount"),
+        ],
+        vec![],
+    );
+    let mut engine = engine_for(&s, &view);
+    // Product 10's sales: 5.0, 7.0, 99.0 → max 99.0.
+    assert_eq!(
+        engine
+            .summary_bag()
+            .unwrap()
+            .count(&row![10, 99.0, 111.0, 3]),
+        1
+    );
+    // Delete the extremum: MAX must fall back to 7.0 — recomputed from the
+    // auxiliary view (group keyed on (productid, price)), not the sources.
+    let c = s.db.delete(s.sale, &Value::Int(104)).unwrap();
+    mirror(&mut engine, s.sale, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert_eq!(
+        engine.summary_bag().unwrap().count(&row![10, 7.0, 12.0, 2]),
+        1
+    );
+    assert!(engine.stats().groups_recomputed >= 1);
+
+    // Deleting a non-extremum does not trigger recomputation.
+    let recomputed_before = engine.stats().groups_recomputed;
+    let c = s.db.delete(s.sale, &Value::Int(100)).unwrap();
+    mirror(&mut engine, s.sale, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert_eq!(engine.stats().groups_recomputed, recomputed_before);
+}
+
+#[test]
+fn min_aggregate_maintenance() {
+    let mut s = star(false);
+    let view = GpsjView::new(
+        "min_price",
+        vec![s.sale],
+        vec![
+            SelectItem::group_by(ColRef::new(s.sale, 2), "productid"),
+            SelectItem::agg(
+                Aggregate::of(AggFunc::Min, ColRef::new(s.sale, 3)),
+                "MinPrice",
+            ),
+            SelectItem::agg(Aggregate::count_star(), "n"),
+        ],
+        vec![],
+    );
+    let mut engine = engine_for(&s, &view);
+    // Insert a new minimum: SMA fast path.
+    let c = s.db.insert(s.sale, row![400, 1, 10, 0.5]).unwrap();
+    mirror(&mut engine, s.sale, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert_eq!(engine.stats().groups_recomputed, 0);
+    // Delete it again: recompute path.
+    let c = s.db.delete(s.sale, &Value::Int(400)).unwrap();
+    mirror(&mut engine, s.sale, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert!(engine.stats().groups_recomputed >= 1);
+}
+
+#[test]
+fn root_omitted_plan_maintains_from_deltas() {
+    let mut s = star(true);
+    // Group by both dimension keys: children are k-annotated and the fact
+    // auxiliary view is eliminated.
+    let view = GpsjView::new(
+        "by_keys",
+        vec![s.sale, s.time, s.product],
+        vec![
+            SelectItem::group_by(ColRef::new(s.time, 0), "timeid"),
+            SelectItem::group_by(ColRef::new(s.product, 0), "productid"),
+            SelectItem::agg(
+                Aggregate::of(AggFunc::Sum, ColRef::new(s.sale, 3)),
+                "TotalPrice",
+            ),
+            SelectItem::agg(Aggregate::count_star(), "TotalCount"),
+        ],
+        vec![
+            Condition::eq_cols(ColRef::new(s.sale, 1), ColRef::new(s.time, 0)),
+            Condition::eq_cols(ColRef::new(s.sale, 2), ColRef::new(s.product, 0)),
+        ],
+    );
+    let plan = derive(&view, &s.cat).unwrap();
+    assert!(
+        plan.root_omitted(),
+        "expected the fact table to be eliminated"
+    );
+    let mut engine = MaintenanceEngine::new(plan, &s.cat).unwrap();
+    engine.initial_load(&s.db).unwrap();
+    assert!(engine.verify_against(&s.db).unwrap());
+
+    // Inserts and deletes maintain V with no root auxiliary view at all.
+    let c = s.db.insert(s.sale, row![500, 2, 10, 4.0]).unwrap();
+    mirror(&mut engine, s.sale, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    let c = s.db.delete(s.sale, &Value::Int(101)).unwrap();
+    mirror(&mut engine, s.sale, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    let c = s.db.delete(s.sale, &Value::Int(103)).unwrap();
+    mirror(&mut engine, s.sale, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+
+    // Storage: only the two (tiny) dimension auxiliary views exist.
+    let names: Vec<String> = engine
+        .storage_report()
+        .into_iter()
+        .map(|l| l.name)
+        .collect();
+    assert!(names.contains(&"timeDTL".to_owned()));
+    assert!(names.contains(&"productDTL".to_owned()));
+    assert!(!names.iter().any(|n| n == "saleDTL"));
+}
+
+#[test]
+fn root_omitted_dim_update_remaps_groups() {
+    let mut s = star(true);
+    // Group by product.id and time.id, plus a MAX over a product attribute
+    // — a dimension-sourced non-CSMAS, recomputable from the group key.
+    let view = GpsjView::new(
+        "by_keys_brandmax",
+        vec![s.sale, s.time, s.product],
+        vec![
+            SelectItem::group_by(ColRef::new(s.time, 0), "timeid"),
+            SelectItem::group_by(ColRef::new(s.product, 0), "productid"),
+            SelectItem::agg(
+                Aggregate::of(AggFunc::Max, ColRef::new(s.product, 1)),
+                "Brand",
+            ),
+            SelectItem::agg(Aggregate::count_star(), "TotalCount"),
+        ],
+        vec![
+            Condition::eq_cols(ColRef::new(s.sale, 1), ColRef::new(s.time, 0)),
+            Condition::eq_cols(ColRef::new(s.sale, 2), ColRef::new(s.product, 0)),
+        ],
+    );
+    let plan = derive(&view, &s.cat).unwrap();
+    assert!(plan.root_omitted());
+    let mut engine = MaintenanceEngine::new(plan, &s.cat).unwrap();
+    engine.initial_load(&s.db).unwrap();
+    assert!(engine.verify_against(&s.db).unwrap());
+
+    // Renaming the brand (non-exposed update under the tight contract)
+    // must flow into the MAX(product.brand) outputs.
+    let c =
+        s.db.update(s.product, &Value::Int(10), row![10, "acme-2"])
+            .unwrap();
+    mirror(&mut engine, s.product, c);
+    assert!(engine.verify_against(&s.db).unwrap());
+    let bag = engine.summary_bag().unwrap();
+    assert_eq!(bag.count(&row![1, 10, "acme-2", 2]), 1);
+}
+
+#[test]
+fn mixed_change_stream_stays_consistent() {
+    let mut s = star(false);
+    let view = product_sales(&s);
+    let mut engine = engine_for(&s, &view);
+    // A scripted mixed stream touching every path; each step mutates the
+    // sources and immediately mirrors the change into the engine.
+    type Step = Box<dyn Fn(&mut Database) -> (TableId, Change)>;
+    let sale = s.sale;
+    let product = s.product;
+    let time = s.time;
+    let steps: Vec<Step> = vec![
+        Box::new(move |db| (sale, db.insert(sale, row![600, 2, 10, 8.0]).unwrap())),
+        Box::new(move |db| (product, db.insert(product, row![12, "kilo"]).unwrap())),
+        Box::new(move |db| (sale, db.insert(sale, row![601, 2, 12, 1.0]).unwrap())),
+        Box::new(move |db| {
+            (
+                sale,
+                db.update(sale, &Value::Int(600), row![600, 2, 10, 9.5])
+                    .unwrap(),
+            )
+        }),
+        Box::new(move |db| (sale, db.delete(sale, &Value::Int(102)).unwrap())),
+        Box::new(move |db| {
+            (
+                product,
+                db.update(product, &Value::Int(12), row![12, "kilo-x"])
+                    .unwrap(),
+            )
+        }),
+        Box::new(move |db| (sale, db.delete(sale, &Value::Int(601)).unwrap())),
+        Box::new(move |db| (time, db.insert(time, row![6, 6, 1997]).unwrap())),
+        Box::new(move |db| (sale, db.insert(sale, row![602, 6, 11, 2.5]).unwrap())),
+    ];
+    for (i, step) in steps.into_iter().enumerate() {
+        let (table, change) = step(&mut s.db);
+        engine.apply(table, &[change]).unwrap();
+        if !engine.verify_against(&s.db).unwrap() {
+            let bag = engine.summary_bag().unwrap();
+            let oracle = md_maintain::recompute_from_sources(&view, &s.db).unwrap();
+            panic!("diverged at step {i}:\nmaintained={bag}\noracle={oracle}");
+        }
+    }
+    assert!(engine.verify_aux_against(&s.db).unwrap());
+    let stats = engine.stats();
+    assert!(stats.rows_processed >= 9);
+}
+
+#[test]
+fn storage_report_shows_compression() {
+    let mut s = star(true);
+    // Many duplicate (timeid, productid) sales.
+    for i in 0..50 {
+        s.db.insert(s.sale, row![1000 + i, 1, 10, 1.0]).unwrap();
+    }
+    let view = product_sales(&s);
+    let engine = engine_for(&s, &view);
+    let report = engine.storage_report();
+    let sale_line = report.iter().find(|l| l.name == "saleDTL").unwrap();
+    // 54 qualifying transactions collapse into 3 groups:
+    // (1,10), (1,11), (2,11).
+    assert_eq!(sale_line.rows, 3);
+}
+
+#[test]
+fn targeted_dim_update_shifts_csmas_sums() {
+    // A dimension measure (product weight) feeding SUM/AVG: updating it
+    // must take the targeted path (no non-CSMAS recompute involved) and
+    // shift exactly the affected groups.
+    let mut cat = Catalog::new();
+    let product = cat
+        .add_table(
+            "product",
+            Schema::from_pairs(&[
+                ("id", DataType::Int),
+                ("category", DataType::Str),
+                ("weight", DataType::Double),
+            ]),
+            0,
+        )
+        .unwrap();
+    let sale = cat
+        .add_table(
+            "sale",
+            Schema::from_pairs(&[("id", DataType::Int), ("productid", DataType::Int)]),
+            0,
+        )
+        .unwrap();
+    cat.add_foreign_key(sale, 1, product).unwrap();
+    cat.set_updatable_columns(product, &[2]).unwrap();
+    cat.set_updatable_columns(sale, &[]).unwrap();
+    let mut db = Database::new(cat.clone());
+    db.insert(product, row![1, "food", 2.0]).unwrap();
+    db.insert(product, row![2, "food", 4.0]).unwrap();
+    db.insert(product, row![3, "tools", 8.0]).unwrap();
+    for (id, p) in [(10, 1), (11, 1), (12, 2), (13, 3)] {
+        db.insert(sale, row![id, p]).unwrap();
+    }
+    let view = GpsjView::new(
+        "shipped",
+        vec![sale, product],
+        vec![
+            SelectItem::group_by(ColRef::new(product, 1), "category"),
+            SelectItem::agg(Aggregate::of(AggFunc::Sum, ColRef::new(product, 2)), "w"),
+            SelectItem::agg(Aggregate::of(AggFunc::Avg, ColRef::new(product, 2)), "aw"),
+            SelectItem::agg(Aggregate::count_star(), "n"),
+        ],
+        vec![Condition::eq_cols(
+            ColRef::new(sale, 1),
+            ColRef::new(product, 0),
+        )],
+    );
+    let plan = md_core::derive(&view, &cat).unwrap();
+    let mut engine = MaintenanceEngine::new(plan, &cat).unwrap();
+    engine.initial_load(&db).unwrap();
+    // food: weights 2,2,4 → sum 8; tools: 8.
+    assert_eq!(
+        engine
+            .summary_bag()
+            .unwrap()
+            .count(&row!["food", 8.0, 8.0 / 3.0, 3]),
+        1
+    );
+
+    // Double product 1's weight: two food sales shift by +2 each.
+    let c = db
+        .update(product, &Value::Int(1), row![1, "food", 4.0])
+        .unwrap();
+    engine.apply(product, &[c]).unwrap();
+    assert!(engine.verify_against(&db).unwrap());
+    let stats = engine.stats();
+    assert_eq!(stats.dim_targeted_updates, 1);
+    assert_eq!(stats.summary_rebuilds, 0);
+    assert_eq!(stats.groups_recomputed, 0);
+    assert_eq!(
+        engine
+            .summary_bag()
+            .unwrap()
+            .count(&row!["food", 12.0, 4.0, 3]),
+        1
+    );
+}
+
+#[test]
+fn avg_survives_mixed_deletes_and_inserts() {
+    let mut s = star(false);
+    let view = GpsjView::new(
+        "avg_price",
+        vec![s.sale],
+        vec![
+            SelectItem::group_by(ColRef::new(s.sale, 2), "productid"),
+            SelectItem::agg(Aggregate::of(AggFunc::Avg, ColRef::new(s.sale, 3)), "avgp"),
+            SelectItem::agg(Aggregate::count_star(), "n"),
+        ],
+        vec![],
+    );
+    let mut engine = engine_for(&s, &view);
+    let script: Vec<Change> = vec![
+        s.db.insert(s.sale, row![700, 1, 10, 4.0]).unwrap(),
+        s.db.delete(s.sale, &Value::Int(100)).unwrap(),
+        s.db.insert(s.sale, row![701, 2, 11, 6.5]).unwrap(),
+        s.db.update(s.sale, &Value::Int(101), row![101, 1, 10, 1.25])
+            .unwrap(),
+        s.db.delete(s.sale, &Value::Int(102)).unwrap(),
+    ];
+    // (The script already mutated the sources; apply it as one batch.)
+    engine.apply(s.sale, &script).unwrap();
+    assert!(engine.verify_against(&s.db).unwrap());
+    // AVG never needs recomputation: it is a CSMAS via {SUM, COUNT}.
+    assert_eq!(engine.stats().groups_recomputed, 0);
+}
+
+#[test]
+fn fact_update_crossing_a_local_condition() {
+    // A fact-side local condition: updates moving rows across it must
+    // enter/leave both X and V correctly (the update splits into
+    // delete+insert and each side is filtered independently).
+    let mut s = star(false);
+    let view = GpsjView::new(
+        "big_tickets",
+        vec![s.sale],
+        vec![
+            SelectItem::group_by(ColRef::new(s.sale, 2), "productid"),
+            SelectItem::agg(Aggregate::of(AggFunc::Sum, ColRef::new(s.sale, 3)), "total"),
+            SelectItem::agg(Aggregate::count_star(), "n"),
+        ],
+        vec![Condition::cmp_lit(
+            ColRef::new(s.sale, 3),
+            CmpOp::Ge,
+            5.0f64,
+        )],
+    );
+    let mut engine = engine_for(&s, &view);
+    // 102 has price 3.0 (outside); raise it inside, then back out.
+    let c =
+        s.db.update(s.sale, &Value::Int(102), row![102, 1, 11, 50.0])
+            .unwrap();
+    engine.apply(s.sale, &[c]).unwrap();
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert!(engine.verify_aux_against(&s.db).unwrap());
+    let c =
+        s.db.update(s.sale, &Value::Int(102), row![102, 1, 11, 0.5])
+            .unwrap();
+    engine.apply(s.sale, &[c]).unwrap();
+    assert!(engine.verify_against(&s.db).unwrap());
+    assert!(engine.verify_aux_against(&s.db).unwrap());
+}
+
+#[test]
+fn snowflake_inner_dimension_update_repairs_from_aux() {
+    // sale -> product -> category with category.name in the group-by; a
+    // category rename is a non-direct-child update, handled by the
+    // conservative repair (from X, never the sources).
+    let mut cat = Catalog::new();
+    let category = cat
+        .add_table(
+            "category",
+            Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]),
+            0,
+        )
+        .unwrap();
+    let product = cat
+        .add_table(
+            "product",
+            Schema::from_pairs(&[("id", DataType::Int), ("categoryid", DataType::Int)]),
+            0,
+        )
+        .unwrap();
+    let sale = cat
+        .add_table(
+            "sale",
+            Schema::from_pairs(&[
+                ("id", DataType::Int),
+                ("productid", DataType::Int),
+                ("price", DataType::Double),
+            ]),
+            0,
+        )
+        .unwrap();
+    cat.add_foreign_key(sale, 1, product).unwrap();
+    cat.add_foreign_key(product, 1, category).unwrap();
+    cat.set_updatable_columns(category, &[1]).unwrap();
+    cat.set_append_only(product).unwrap();
+    cat.set_updatable_columns(sale, &[2]).unwrap();
+    let mut db = Database::new(cat.clone());
+    db.insert(category, row![1, "food"]).unwrap();
+    db.insert(category, row![2, "tools"]).unwrap();
+    db.insert(product, row![10, 1]).unwrap();
+    db.insert(product, row![11, 2]).unwrap();
+    for (id, p, price) in [(100, 10, 3.0), (101, 10, 4.0), (102, 11, 9.0)] {
+        db.insert(sale, row![id, p, price]).unwrap();
+    }
+    let view = GpsjView::new(
+        "by_category",
+        vec![sale, product, category],
+        vec![
+            SelectItem::group_by(ColRef::new(category, 1), "name"),
+            SelectItem::agg(Aggregate::of(AggFunc::Sum, ColRef::new(sale, 2)), "rev"),
+            SelectItem::agg(Aggregate::count_star(), "n"),
+        ],
+        vec![
+            Condition::eq_cols(ColRef::new(sale, 1), ColRef::new(product, 0)),
+            Condition::eq_cols(ColRef::new(product, 1), ColRef::new(category, 0)),
+        ],
+    );
+    let plan = md_core::derive(&view, &cat).unwrap();
+    let mut engine = MaintenanceEngine::new(plan, &cat).unwrap();
+    engine.initial_load(&db).unwrap();
+    assert!(engine.verify_against(&db).unwrap());
+
+    // Rename "food" → "groceries": group key changes wholesale.
+    let c = db
+        .update(category, &Value::Int(1), row![1, "groceries"])
+        .unwrap();
+    engine.apply(category, &[c]).unwrap();
+    assert!(engine.verify_against(&db).unwrap());
+    let bag = engine.summary_bag().unwrap();
+    assert_eq!(bag.count(&row!["groceries", 7.0, 2]), 1);
+    assert!(engine.stats().summary_rebuilds >= 1);
+}

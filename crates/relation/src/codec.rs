@@ -1,0 +1,329 @@
+//! A compact, versioned binary codec for values and rows.
+//!
+//! The warehouse's reason for existing is that the sources are
+//! unreachable — so its state (summary + auxiliary views) must survive
+//! restarts without a reload. This module provides the primitive
+//! encoding used by the snapshot format in `md-maintain`: little-endian
+//! fixed-width integers, IEEE-754 bit patterns for doubles (preserving
+//! the engine's bitwise value semantics), and length-prefixed UTF-8
+//! strings.
+
+use crate::error::{RelationError, Result};
+use crate::row::Row;
+use crate::value::Value;
+
+/// Serializes primitives into a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Finishes encoding, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` when nothing was encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (bit-exact round trip,
+    /// including NaN payloads and signed zeros).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a tagged [`Value`].
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => {
+                self.put_u8(0);
+                self.put_i64(*i);
+            }
+            Value::Double(d) => {
+                self.put_u8(1);
+                self.put_f64(*d);
+            }
+            Value::Str(s) => {
+                self.put_u8(2);
+                self.put_str(s);
+            }
+            Value::Bool(b) => {
+                self.put_u8(3);
+                self.put_u8(u8::from(*b));
+            }
+        }
+    }
+
+    /// Appends a length-prefixed [`Row`].
+    pub fn put_row(&mut self, row: &Row) {
+        self.put_u32(row.arity() as u32);
+        for v in row.values() {
+            self.put_value(v);
+        }
+    }
+}
+
+/// Deserializes primitives from a byte slice, tracking position.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Returns `true` when the input is fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn corrupt(&self, what: &str) -> RelationError {
+        RelationError::Invalid(format!(
+            "corrupt snapshot: truncated {what} at byte {}",
+            self.pos
+        ))
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.corrupt(what));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn take_i64(&mut self) -> Result<i64> {
+        let b = self.take(8, "i64")?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an IEEE-754 `f64` bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len, "string payload")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| RelationError::Invalid("corrupt snapshot: invalid UTF-8".into()))
+    }
+
+    /// Reads a tagged [`Value`].
+    pub fn take_value(&mut self) -> Result<Value> {
+        match self.take_u8()? {
+            0 => Ok(Value::Int(self.take_i64()?)),
+            1 => Ok(Value::Double(self.take_f64()?)),
+            2 => Ok(Value::Str(self.take_str()?)),
+            3 => Ok(Value::Bool(self.take_u8()? != 0)),
+            tag => Err(RelationError::Invalid(format!(
+                "corrupt snapshot: unknown value tag {tag}"
+            ))),
+        }
+    }
+
+    /// Reads a length-prefixed [`Row`].
+    pub fn take_row(&mut self) -> Result<Row> {
+        let arity = self.take_u32()? as usize;
+        // The length prefix is untrusted input: every value occupies at
+        // least one byte, so an arity beyond the remaining bytes is
+        // corruption — reject it before allocating anything that size.
+        if arity > self.remaining() {
+            return Err(self.corrupt("row (arity exceeds remaining bytes)"));
+        }
+        let mut vals = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            vals.push(self.take_value()?);
+        }
+        Ok(Row::new(vals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn round_trip_value(v: Value) {
+        let mut e = Encoder::new();
+        e.put_value(&v);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.take_value().unwrap(), v);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u32(1_000_000);
+        e.put_u64(u64::MAX);
+        e.put_i64(-42);
+        e.put_f64(-0.0);
+        e.put_str("héllo");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.take_u8().unwrap(), 7);
+        assert_eq!(d.take_u32().unwrap(), 1_000_000);
+        assert_eq!(d.take_u64().unwrap(), u64::MAX);
+        assert_eq!(d.take_i64().unwrap(), -42);
+        assert_eq!(d.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.take_str().unwrap(), "héllo");
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn value_round_trips() {
+        round_trip_value(Value::Int(i64::MIN));
+        round_trip_value(Value::Double(f64::NAN)); // bitwise-preserved
+        round_trip_value(Value::Double(3.25));
+        round_trip_value(Value::str(""));
+        round_trip_value(Value::str("brand-42"));
+        round_trip_value(Value::Bool(true));
+    }
+
+    #[test]
+    fn row_round_trips() {
+        let r = row![1, 2.5, "x", true];
+        let mut e = Encoder::new();
+        e.put_row(&r);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.take_row().unwrap(), r);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut e = Encoder::new();
+        e.put_row(&row![1, "abc"]);
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut d = Decoder::new(&bytes[..cut]);
+            assert!(d.take_row().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut d = Decoder::new(&[9]);
+        assert!(d.take_value().is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::row::Row;
+    use proptest::prelude::*;
+
+    fn value_strategy() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            any::<i64>().prop_map(Value::Int),
+            any::<f64>().prop_map(Value::Double),
+            "[a-zA-Z0-9 '\\-]{0,24}".prop_map(Value::Str),
+            any::<bool>().prop_map(Value::Bool),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn any_value_round_trips(v in value_strategy()) {
+            let mut e = Encoder::new();
+            e.put_value(&v);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            prop_assert_eq!(d.take_value().unwrap(), v);
+            prop_assert!(d.is_exhausted());
+        }
+
+        #[test]
+        fn any_row_round_trips(vals in proptest::collection::vec(value_strategy(), 0..12)) {
+            let r = Row::new(vals);
+            let mut e = Encoder::new();
+            e.put_row(&r);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            prop_assert_eq!(d.take_row().unwrap(), r);
+        }
+
+        #[test]
+        fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            // Arbitrary input must produce Ok or Err — never a panic.
+            let mut d = Decoder::new(&bytes);
+            let _ = d.take_row();
+            let mut d = Decoder::new(&bytes);
+            let _ = d.take_value();
+            let mut d = Decoder::new(&bytes);
+            let _ = d.take_str();
+        }
+    }
+}

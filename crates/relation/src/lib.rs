@@ -1,0 +1,42 @@
+//! # `md-relation` — storage substrate for *mindetail*
+//!
+//! The bottom layer of the [mindetail](https://example.org/mindetail)
+//! reproduction of *Akinde, Jensen & Böhlen, "Minimizing Detail Data in Data
+//! Warehouses" (EDBT 1998)*. It provides everything the paper assumes of the
+//! operational data sources:
+//!
+//! * typed, null-free [`value::Value`]s and [`schema::Schema`]s,
+//! * [`table::BaseTable`]s with single-attribute keys,
+//! * [`catalog::Catalog`]s with referential-integrity constraints and
+//!   per-table *update contracts* (which columns updates may modify — the
+//!   input to the exposed-update analysis in `md-core`),
+//! * [`delta::Change`]/[`delta::Delta`] change streams that mutations emit,
+//!   so a warehouse can be maintained without ever re-reading a source, and
+//! * bag-semantics relations ([`bag::Bag`]) used by the algebra layer.
+//!
+//! The design goal is fidelity to the paper's model (Section 2.1): no nulls,
+//! single-attribute keys, key joins, explicit insertion/deletion/update
+//! streams with updates splittable into delete+insert.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bag;
+pub mod catalog;
+pub mod codec;
+pub mod delta;
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use bag::Bag;
+pub use catalog::{Catalog, Database, ForeignKey, TableDef, TableId};
+pub use codec::{Decoder, Encoder};
+pub use delta::{Change, Delta};
+pub use error::{RelationError, Result};
+pub use row::Row;
+pub use schema::{Column, Schema};
+pub use table::BaseTable;
+pub use value::{DataType, Value};

@@ -1,0 +1,177 @@
+//! Rows (tuples) of values.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::value::Value;
+
+/// A tuple of values, ordered according to some [`Schema`](crate::schema::Schema).
+///
+/// Rows are plain value vectors with helpers for projection and display.
+/// They implement `Eq + Hash + Ord` (inherited from [`Value`]'s total
+/// order) so they can be used as hash keys for group-by processing and as
+/// sortable test fixtures.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Row(Vec<Value>);
+
+impl Row {
+    /// Creates a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// Number of values in the row.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the row has no values.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrow the underlying values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consume the row, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+
+    /// The value at `idx`, panicking if out of range.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+
+    /// A new row containing the values at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Concatenates two rows (used when materializing joins).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut vals = Vec::with_capacity(self.arity() + other.arity());
+        vals.extend_from_slice(&self.0);
+        vals.extend_from_slice(&other.0);
+        Row(vals)
+    }
+
+    /// Appends a value, returning the extended row.
+    pub fn with(mut self, value: Value) -> Row {
+        self.0.push(value);
+        self
+    }
+
+    /// Estimated in-memory footprint, for measured storage reports.
+    pub fn heap_bytes(&self) -> u64 {
+        self.0.iter().map(Value::heap_bytes).sum::<u64>() + std::mem::size_of::<Row>() as u64
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builds a [`Row`] from a heterogeneous list of expressions convertible
+/// into [`Value`].
+///
+/// ```
+/// use md_relation::row;
+/// let r = row![1, 2.5, "brand-a"];
+/// assert_eq!(r.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::row::Row::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_macro_builds_typed_values() {
+        let r = row![1, 2.0, "x", true];
+        assert_eq!(r.get(0), &Value::Int(1));
+        assert_eq!(r.get(1), &Value::Double(2.0));
+        assert_eq!(r.get(2), &Value::str("x"));
+        assert_eq!(r.get(3), &Value::Bool(true));
+    }
+
+    #[test]
+    fn projection_reorders() {
+        let r = row![10, 20, 30];
+        assert_eq!(r.project(&[2, 0]), row![30, 10]);
+    }
+
+    #[test]
+    fn concat_joins_rows() {
+        let r = row![1, 2].concat(&row![3]);
+        assert_eq!(r, row![1, 2, 3]);
+    }
+
+    #[test]
+    fn with_appends() {
+        let r = row![1].with(Value::Int(2));
+        assert_eq!(r, row![1, 2]);
+    }
+
+    #[test]
+    fn index_operator() {
+        let r = row![5, 6];
+        assert_eq!(r[1], Value::Int(6));
+    }
+
+    #[test]
+    fn rows_usable_as_hash_keys() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Row, u64> = HashMap::new();
+        *m.entry(row![1, "a"]).or_insert(0) += 1;
+        *m.entry(row![1, "a"]).or_insert(0) += 1;
+        assert_eq!(m[&row![1, "a"]], 2);
+    }
+
+    #[test]
+    fn display_renders_tuple() {
+        assert_eq!(row![1, "a"].to_string(), "(1, 'a')");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let r: Row = (0..3).map(Value::Int).collect();
+        assert_eq!(r, row![0, 1, 2]);
+    }
+}

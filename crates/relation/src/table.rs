@@ -1,0 +1,264 @@
+//! Base tables with single-attribute keys.
+//!
+//! A [`BaseTable`] stores rows in insertion order with a hash index on the
+//! key column (the paper assumes every base table has a single-attribute
+//! key, Section 2.1). Mutations return [`Change`] records so a warehouse can
+//! consume the change stream without re-reading the source — which is the
+//! whole point of the paper's setting: the sources may be inaccessible.
+
+use std::collections::HashMap;
+
+use crate::delta::Change;
+use crate::error::{RelationError, Result};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A mutable base table.
+#[derive(Debug, Clone)]
+pub struct BaseTable {
+    name: String,
+    schema: Schema,
+    key_col: usize,
+    rows: Vec<Row>,
+    /// key value -> index into `rows`
+    index: HashMap<Value, usize>,
+}
+
+impl BaseTable {
+    /// Creates an empty table. `key_col` must be a valid column index.
+    pub fn new(name: impl Into<String>, schema: Schema, key_col: usize) -> Result<Self> {
+        let name = name.into();
+        if key_col >= schema.arity() {
+            return Err(RelationError::Invalid(format!(
+                "key column index {key_col} out of range for table '{name}' with arity {}",
+                schema.arity()
+            )));
+        }
+        Ok(BaseTable {
+            name,
+            schema,
+            key_col,
+            rows: Vec::new(),
+            index: HashMap::new(),
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Index of the key column.
+    pub fn key_col(&self) -> usize {
+        self.key_col
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over all rows in unspecified order.
+    pub fn scan(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// Looks up a row by key value.
+    pub fn get(&self, key: &Value) -> Option<&Row> {
+        self.index.get(key).map(|&i| &self.rows[i])
+    }
+
+    /// Returns `true` if a row with this key exists.
+    pub fn contains_key(&self, key: &Value) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Inserts a row, enforcing schema and key uniqueness.
+    pub fn insert(&mut self, row: Row) -> Result<Change> {
+        self.schema.check_row(&self.name, row.values())?;
+        let key = row[self.key_col].clone();
+        if self.index.contains_key(&key) {
+            return Err(RelationError::DuplicateKey {
+                table: self.name.clone(),
+                key,
+            });
+        }
+        self.index.insert(key, self.rows.len());
+        self.rows.push(row.clone());
+        Ok(Change::Insert(row))
+    }
+
+    /// Deletes the row with the given key, returning the change.
+    pub fn delete(&mut self, key: &Value) -> Result<Change> {
+        let idx = *self
+            .index
+            .get(key)
+            .ok_or_else(|| RelationError::KeyNotFound {
+                table: self.name.clone(),
+                key: key.clone(),
+            })?;
+        self.index.remove(key);
+        let removed = self.rows.swap_remove(idx);
+        // Fix up the index entry of the row that was swapped into `idx`.
+        if idx < self.rows.len() {
+            let moved_key = self.rows[idx][self.key_col].clone();
+            self.index.insert(moved_key, idx);
+        }
+        Ok(Change::Delete(removed))
+    }
+
+    /// Replaces the row with key `key` by `new_row`.
+    ///
+    /// The new row must keep the same key value — key updates must be issued
+    /// as an explicit delete followed by an insert, mirroring how the paper
+    /// treats exposed updates.
+    pub fn update(&mut self, key: &Value, new_row: Row) -> Result<Change> {
+        self.schema.check_row(&self.name, new_row.values())?;
+        if &new_row[self.key_col] != key {
+            return Err(RelationError::Invalid(format!(
+                "update on table '{}' changes the key from {key} to {}; \
+                 issue delete+insert instead",
+                self.name, new_row[self.key_col]
+            )));
+        }
+        let idx = *self
+            .index
+            .get(key)
+            .ok_or_else(|| RelationError::KeyNotFound {
+                table: self.name.clone(),
+                key: key.clone(),
+            })?;
+        let old = std::mem::replace(&mut self.rows[idx], new_row.clone());
+        Ok(Change::Update { old, new: new_row })
+    }
+
+    /// Estimated storage in the *paper's* model: `rows × fields × 4 bytes`.
+    pub fn paper_bytes(&self) -> u64 {
+        self.rows.len() as u64 * self.schema.arity() as u64 * Value::PAPER_FIELD_BYTES
+    }
+
+    /// Estimated actual in-memory footprint.
+    pub fn heap_bytes(&self) -> u64 {
+        self.rows.iter().map(Row::heap_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::DataType;
+
+    fn product_table() -> BaseTable {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("brand", DataType::Str),
+            ("category", DataType::Str),
+        ]);
+        BaseTable::new("product", schema, 0).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_bad_key_col() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]);
+        assert!(BaseTable::new("t", schema, 3).is_err());
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = product_table();
+        t.insert(row![1, "acme", "food"]).unwrap();
+        t.insert(row![2, "zeta", "drink"]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&Value::Int(1)), Some(&row![1, "acme", "food"]));
+        assert!(t.contains_key(&Value::Int(2)));
+        assert!(!t.contains_key(&Value::Int(3)));
+    }
+
+    #[test]
+    fn insert_rejects_duplicate_key() {
+        let mut t = product_table();
+        t.insert(row![1, "acme", "food"]).unwrap();
+        let e = t.insert(row![1, "other", "food"]).unwrap_err();
+        assert!(matches!(e, RelationError::DuplicateKey { .. }));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn insert_rejects_schema_mismatch() {
+        let mut t = product_table();
+        assert!(t.insert(row![1, 2, 3]).is_err());
+        assert!(t.insert(row![1, "acme"]).is_err());
+    }
+
+    #[test]
+    fn delete_returns_old_row_and_fixes_index() {
+        let mut t = product_table();
+        t.insert(row![1, "a", "x"]).unwrap();
+        t.insert(row![2, "b", "y"]).unwrap();
+        t.insert(row![3, "c", "z"]).unwrap();
+        let c = t.delete(&Value::Int(1)).unwrap();
+        assert_eq!(c, Change::Delete(row![1, "a", "x"]));
+        // swap_remove moved row 3 into slot 0; it must still be findable.
+        assert_eq!(t.get(&Value::Int(3)), Some(&row![3, "c", "z"]));
+        assert_eq!(t.get(&Value::Int(2)), Some(&row![2, "b", "y"]));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn delete_missing_key_errors() {
+        let mut t = product_table();
+        assert!(matches!(
+            t.delete(&Value::Int(9)),
+            Err(RelationError::KeyNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn update_replaces_row() {
+        let mut t = product_table();
+        t.insert(row![1, "a", "x"]).unwrap();
+        let c = t.update(&Value::Int(1), row![1, "a2", "x"]).unwrap();
+        assert_eq!(
+            c,
+            Change::Update {
+                old: row![1, "a", "x"],
+                new: row![1, "a2", "x"]
+            }
+        );
+        assert_eq!(t.get(&Value::Int(1)), Some(&row![1, "a2", "x"]));
+    }
+
+    #[test]
+    fn update_cannot_change_key() {
+        let mut t = product_table();
+        t.insert(row![1, "a", "x"]).unwrap();
+        assert!(t.update(&Value::Int(1), row![2, "a", "x"]).is_err());
+    }
+
+    #[test]
+    fn update_missing_key_errors() {
+        let mut t = product_table();
+        assert!(t.update(&Value::Int(1), row![1, "a", "x"]).is_err());
+    }
+
+    #[test]
+    fn paper_bytes_matches_model() {
+        let mut t = product_table();
+        t.insert(row![1, "a", "x"]).unwrap();
+        t.insert(row![2, "b", "y"]).unwrap();
+        // 2 rows × 3 fields × 4 bytes
+        assert_eq!(t.paper_bytes(), 24);
+    }
+}

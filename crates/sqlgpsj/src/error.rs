@@ -1,0 +1,104 @@
+//! Error type for the SQL front end.
+
+use std::fmt;
+
+use md_algebra::AlgebraError;
+use md_relation::RelationError;
+
+/// Result alias used throughout `md-sql`.
+pub type SqlResult<T, E = SqlError> = std::result::Result<T, E>;
+
+/// Errors raised while lexing, parsing or resolving GPSJ SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset in the input.
+        offset: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// Parse error at a byte offset.
+    Parse {
+        /// Byte offset in the input (or input length at end of input).
+        offset: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// Name-resolution error.
+    Resolve(String),
+    /// Error bubbled up from the algebra layer.
+    Algebra(AlgebraError),
+    /// Error bubbled up from the storage layer.
+    Relation(RelationError),
+}
+
+impl SqlError {
+    pub(crate) fn lex(offset: usize, message: impl Into<String>) -> Self {
+        SqlError::Lex {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn parse(offset: usize, message: impl Into<String>) -> Self {
+        SqlError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn resolve(message: impl Into<String>) -> Self {
+        SqlError::Resolve(message.into())
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            SqlError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            SqlError::Resolve(message) => write!(f, "resolution error: {message}"),
+            SqlError::Algebra(e) => write!(f, "{e}"),
+            SqlError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Algebra(e) => Some(e),
+            SqlError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgebraError> for SqlError {
+    fn from(e: AlgebraError) -> Self {
+        SqlError::Algebra(e)
+    }
+}
+
+impl From<RelationError> for SqlError {
+    fn from(e: RelationError) -> Self {
+        SqlError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offsets() {
+        let e = SqlError::parse(17, "expected FROM");
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("expected FROM"));
+    }
+}

@@ -1,0 +1,272 @@
+//! SQL rendering: [`GpsjView`] and derived auxiliary views back to SQL.
+//!
+//! The auxiliary view renderer emits exactly the shape the paper prints in
+//! Section 1.1 — semijoin reductions as `IN (SELECT key FROM otherDTL)`
+//! subqueries and smart duplicate compression as `SUM`/`COUNT(*)` with a
+//! `GROUP BY` over the raw columns.
+
+use std::fmt::Write as _;
+
+use md_algebra::{GpsjView, Operand, SelectItem};
+use md_core::{AuxColKind, DerivedPlan};
+use md_relation::{Catalog, TableId};
+
+use crate::error::{SqlError, SqlResult};
+
+/// Renders a GPSJ view definition as `CREATE VIEW … AS SELECT …` SQL.
+pub fn view_to_sql(view: &GpsjView, catalog: &Catalog) -> SqlResult<String> {
+    let mut out = String::new();
+    let _ = write!(out, "CREATE VIEW {} AS\nSELECT ", view.name);
+    for (i, item) in view.select.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match item {
+            SelectItem::GroupBy { col, alias } => {
+                let rendered = col.display(catalog);
+                let _ = write!(out, "{rendered}");
+                if alias != rendered.split('.').next_back().unwrap_or_default() {
+                    let _ = write!(out, " AS {alias}");
+                }
+            }
+            SelectItem::Agg { agg, alias } => {
+                let _ = write!(out, "{} AS {alias}", agg.display(catalog));
+            }
+        }
+    }
+    out.push_str("\nFROM ");
+    for (i, &t) in view.tables.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&catalog.def(t).map_err(SqlError::from)?.name);
+    }
+    if !view.conditions.is_empty() {
+        out.push_str("\nWHERE ");
+        for (i, cond) in view.conditions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" AND ");
+            }
+            match &cond.right {
+                Operand::Col(c) => {
+                    let _ = write!(
+                        out,
+                        "{} {} {}",
+                        cond.left.display(catalog),
+                        cond.op,
+                        c.display(catalog)
+                    );
+                }
+                Operand::Lit(v) => {
+                    let _ = write!(out, "{} {} {v}", cond.left.display(catalog), cond.op);
+                }
+            }
+        }
+    }
+    let group_cols = view.group_by_cols();
+    if !group_cols.is_empty() {
+        out.push_str("\nGROUP BY ");
+        for (i, c) in group_cols.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&c.display(catalog));
+        }
+    }
+    if !view.having.is_empty() {
+        out.push_str("\nHAVING ");
+        for (i, h) in view.having.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" AND ");
+            }
+            let expr = match &view.select[h.item] {
+                SelectItem::GroupBy { col, .. } => col.display(catalog),
+                SelectItem::Agg { agg, .. } => agg.display(catalog),
+            };
+            let _ = write!(out, "{expr} {} {}", h.op, h.value);
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the auxiliary view of `table` from a derived plan as SQL, in the
+/// paper's Section 1.1 style. Returns `None` when the auxiliary view was
+/// eliminated.
+pub fn aux_view_to_sql(
+    plan: &DerivedPlan,
+    table: TableId,
+    catalog: &Catalog,
+) -> SqlResult<Option<String>> {
+    let Some(def) = plan.aux_for(table) else {
+        return Ok(None);
+    };
+    let base = catalog.def(table).map_err(SqlError::from)?;
+    let mut out = String::new();
+    let _ = write!(out, "CREATE VIEW {} AS\nSELECT ", def.name);
+    let mut first = true;
+    let mut group_names = Vec::new();
+    for col in &def.columns {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        match col.kind {
+            AuxColKind::Group { src_col } => {
+                let name = &base.schema.column(src_col).name;
+                out.push_str(name);
+                group_names.push(name.clone());
+            }
+            AuxColKind::Sum { src_col } => {
+                let _ = write!(
+                    out,
+                    "SUM({}) AS {}",
+                    base.schema.column(src_col).name,
+                    col.name
+                );
+            }
+            AuxColKind::Count => {
+                let _ = write!(out, "COUNT(*) AS {}", col.name);
+            }
+        }
+    }
+    let _ = write!(out, "\nFROM {}", base.name);
+
+    let mut where_parts: Vec<String> = def
+        .local_conditions
+        .iter()
+        .map(|c| c.display(catalog))
+        .collect();
+    for target in &def.semijoins {
+        let Some(edge) = plan.graph.children(table).find(|e| e.to == *target) else {
+            continue;
+        };
+        let target_def = plan
+            .aux_for(*target)
+            .ok_or_else(|| SqlError::resolve("semijoin target has no auxiliary view".to_owned()))?;
+        let target_base = catalog.def(*target).map_err(SqlError::from)?;
+        let fk_name = &base.schema.column(edge.fk_col).name;
+        let key_name = &target_base.schema.column(edge.key_col).name;
+        where_parts.push(format!(
+            "{fk_name} IN (SELECT {key_name} FROM {})",
+            target_def.name
+        ));
+    }
+    if !where_parts.is_empty() {
+        let _ = write!(out, "\nWHERE {}", where_parts.join(" AND "));
+    }
+    if !def.is_degenerate_psj() && !group_names.is_empty() {
+        let _ = write!(out, "\nGROUP BY {}", group_names.join(", "));
+    }
+    Ok(Some(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::parse_view;
+    use md_relation::{DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let time = cat
+            .add_table(
+                "time",
+                Schema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("month", DataType::Int),
+                    ("year", DataType::Int),
+                ]),
+                0,
+            )
+            .unwrap();
+        let product = cat
+            .add_table(
+                "product",
+                Schema::from_pairs(&[("id", DataType::Int), ("brand", DataType::Str)]),
+                0,
+            )
+            .unwrap();
+        let sale = cat
+            .add_table(
+                "sale",
+                Schema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("timeid", DataType::Int),
+                    ("productid", DataType::Int),
+                    ("price", DataType::Double),
+                ]),
+                0,
+            )
+            .unwrap();
+        cat.add_foreign_key(sale, 1, time).unwrap();
+        cat.add_foreign_key(sale, 2, product).unwrap();
+        cat.set_append_only(time).unwrap();
+        cat.set_append_only(product).unwrap();
+        cat
+    }
+
+    const PRODUCT_SALES: &str = "CREATE VIEW product_sales AS \
+        SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount, \
+               COUNT(DISTINCT brand) AS DifferentBrands \
+        FROM sale, time, product \
+        WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id \
+        GROUP BY time.month";
+
+    #[test]
+    fn view_round_trips_through_sql() {
+        let cat = catalog();
+        let v1 = parse_view(PRODUCT_SALES, &cat, "q").unwrap();
+        let sql = view_to_sql(&v1, &cat).unwrap();
+        let v2 = parse_view(&sql, &cat, "q").unwrap();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn aux_sql_matches_paper_structure() {
+        let cat = catalog();
+        let v = parse_view(PRODUCT_SALES, &cat, "q").unwrap();
+        let plan = md_core::derive(&v, &cat).unwrap();
+        let sale = cat.table_id("sale").unwrap();
+        let sql = aux_view_to_sql(&plan, sale, &cat).unwrap().unwrap();
+        // The paper's saleDTL shape: semijoins + compression + group-by.
+        assert!(sql.contains("CREATE VIEW saleDTL"));
+        assert!(sql.contains("SUM(price)"));
+        assert!(sql.contains("COUNT(*)"));
+        assert!(sql.contains("timeid IN (SELECT id FROM timeDTL)"));
+        assert!(sql.contains("productid IN (SELECT id FROM productDTL)"));
+        assert!(sql.contains("GROUP BY timeid, productid"));
+    }
+
+    #[test]
+    fn degenerate_aux_has_no_group_by() {
+        let cat = catalog();
+        let v = parse_view(PRODUCT_SALES, &cat, "q").unwrap();
+        let plan = md_core::derive(&v, &cat).unwrap();
+        let time = cat.table_id("time").unwrap();
+        let sql = aux_view_to_sql(&plan, time, &cat).unwrap().unwrap();
+        assert!(sql.contains("CREATE VIEW timeDTL"));
+        assert!(sql.contains("time.year = 1997"));
+        assert!(!sql.contains("GROUP BY"));
+        assert!(!sql.contains("COUNT"));
+    }
+
+    #[test]
+    fn omitted_aux_renders_none() {
+        let mut cat = catalog();
+        let sale = cat.table_id("sale").unwrap();
+        cat.set_updatable_columns(sale, &[3]).unwrap();
+        let v = parse_view(
+            "CREATE VIEW by_keys AS \
+             SELECT time.id AS tid, product.id AS pid, SUM(price) AS p, COUNT(*) AS n \
+             FROM sale, time, product \
+             WHERE sale.timeid = time.id AND sale.productid = product.id \
+             GROUP BY time.id, product.id",
+            &cat,
+            "q",
+        )
+        .unwrap();
+        let plan = md_core::derive(&v, &cat).unwrap();
+        assert!(plan.root_omitted());
+        assert!(aux_view_to_sql(&plan, sale, &cat).unwrap().is_none());
+    }
+}

@@ -1,0 +1,459 @@
+//! Name resolution: [`ParsedView`] + [`Catalog`] → [`GpsjView`].
+//!
+//! Enforces the SQL and GPSJ rules: every `FROM` table exists, column
+//! references resolve unambiguously, plain select columns and `GROUP BY`
+//! columns coincide (the paper requires all group-by attributes to be
+//! projected), literals are type-compatible with their columns, and
+//! literal-on-the-left comparisons are normalized by flipping the operator.
+
+use md_algebra::{Aggregate, CmpOp, ColRef, Condition, GpsjView, HavingCond, Operand, SelectItem};
+use md_relation::{Catalog, TableId, Value};
+
+use crate::error::{SqlError, SqlResult};
+use crate::parser::{
+    ParsedCond, ParsedExpr, ParsedHavingCond, ParsedLiteral, ParsedOperand, ParsedView, QualName,
+};
+
+/// Resolves a parsed view against `catalog`. `default_name` is used when
+/// the statement had no `CREATE VIEW` clause.
+pub fn resolve(parsed: &ParsedView, catalog: &Catalog, default_name: &str) -> SqlResult<GpsjView> {
+    let mut tables: Vec<TableId> = Vec::with_capacity(parsed.from.len());
+    for name in &parsed.from {
+        let id = catalog
+            .table_id(name)
+            .ok_or_else(|| SqlError::resolve(format!("unknown table '{name}' in FROM")))?;
+        if tables.contains(&id) {
+            return Err(SqlError::resolve(format!(
+                "table '{name}' listed twice in FROM (self-joins are not GPSJ)"
+            )));
+        }
+        tables.push(id);
+    }
+
+    let resolve_col = |qn: &QualName| -> SqlResult<ColRef> {
+        match &qn.table {
+            Some(tname) => {
+                let id = catalog
+                    .table_id(tname)
+                    .ok_or_else(|| SqlError::resolve(format!("unknown table '{tname}'")))?;
+                if !tables.contains(&id) {
+                    return Err(SqlError::resolve(format!(
+                        "table '{tname}' is not in the FROM clause"
+                    )));
+                }
+                let def = catalog.def(id).map_err(SqlError::from)?;
+                let col = def.schema.index_of(&qn.column).ok_or_else(|| {
+                    SqlError::resolve(format!("unknown column '{}' in table '{tname}'", qn.column))
+                })?;
+                Ok(ColRef::new(id, col))
+            }
+            None => {
+                let mut found: Option<ColRef> = None;
+                for &id in &tables {
+                    let def = catalog.def(id).map_err(SqlError::from)?;
+                    if let Some(col) = def.schema.index_of(&qn.column) {
+                        if let Some(prev) = found {
+                            let prev_name = &catalog.def(prev.table).map_err(SqlError::from)?.name;
+                            return Err(SqlError::resolve(format!(
+                                "ambiguous column '{}': found in '{prev_name}' and '{}'",
+                                qn.column, def.name
+                            )));
+                        }
+                        found = Some(ColRef::new(id, col));
+                    }
+                }
+                found.ok_or_else(|| {
+                    SqlError::resolve(format!(
+                        "column '{}' not found in any FROM table",
+                        qn.column
+                    ))
+                })
+            }
+        }
+    };
+
+    // Select items.
+    let mut select = Vec::with_capacity(parsed.select.len());
+    let mut plain_cols: Vec<ColRef> = Vec::new();
+    for item in &parsed.select {
+        match &item.expr {
+            ParsedExpr::Col(qn) => {
+                let col = resolve_col(qn)?;
+                plain_cols.push(col);
+                let alias = item.alias.clone().unwrap_or_else(|| qn.column.clone());
+                select.push(SelectItem::group_by(col, alias));
+            }
+            ParsedExpr::Agg {
+                func,
+                distinct,
+                arg,
+            } => {
+                let agg = match arg {
+                    None => Aggregate::count_star(),
+                    Some(qn) => {
+                        let col = resolve_col(qn)?;
+                        if *distinct {
+                            Aggregate::distinct_of(*func, col)
+                        } else {
+                            Aggregate::of(*func, col)
+                        }
+                    }
+                };
+                let alias = item.alias.clone().unwrap_or_else(|| match arg {
+                    None => "count_all".to_owned(),
+                    Some(qn) => format!(
+                        "{}_{}{}",
+                        func.name().to_ascii_lowercase(),
+                        if *distinct { "distinct_" } else { "" },
+                        qn.column
+                    ),
+                });
+                select.push(SelectItem::agg(agg, alias));
+            }
+        }
+    }
+
+    // GROUP BY must equal the set of plain select columns (the paper
+    // requires all group-by attributes to be projected).
+    let group_cols: Vec<ColRef> = parsed
+        .group_by
+        .iter()
+        .map(&resolve_col)
+        .collect::<SqlResult<_>>()?;
+    for c in &plain_cols {
+        if !group_cols.contains(c) {
+            return Err(SqlError::resolve(format!(
+                "select column {} must appear in GROUP BY",
+                c.display(catalog)
+            )));
+        }
+    }
+    for c in &group_cols {
+        if !plain_cols.contains(c) {
+            return Err(SqlError::resolve(format!(
+                "GROUP BY column {} must be projected in the select list \
+                 (GPSJ views project all group-by attributes)",
+                c.display(catalog)
+            )));
+        }
+    }
+
+    // Conditions.
+    let mut conditions = Vec::with_capacity(parsed.conditions.len());
+    for cond in &parsed.conditions {
+        conditions.push(resolve_condition(cond, catalog, &resolve_col)?);
+    }
+
+    // HAVING conjuncts resolve against the select list.
+    let mut having = Vec::with_capacity(parsed.having.len());
+    for h in &parsed.having {
+        having.push(resolve_having(h, &select, &resolve_col)?);
+    }
+
+    let name = parsed
+        .name
+        .clone()
+        .unwrap_or_else(|| default_name.to_owned());
+    let view = GpsjView::new(name, tables, select, conditions).with_having(having);
+    view.validate(catalog)?;
+    Ok(view)
+}
+
+/// Resolves one `HAVING` conjunct to an output-column condition. The
+/// expression may be an aggregate call matching a select item, a select
+/// alias, or a group-by column.
+fn resolve_having(
+    h: &ParsedHavingCond,
+    select: &[SelectItem],
+    resolve_col: &impl Fn(&QualName) -> SqlResult<ColRef>,
+) -> SqlResult<HavingCond> {
+    let item = match &h.expr {
+        ParsedExpr::Agg {
+            func,
+            distinct,
+            arg,
+        } => {
+            let wanted = match arg {
+                None => Aggregate::count_star(),
+                Some(qn) => {
+                    let col = resolve_col(qn)?;
+                    if *distinct {
+                        Aggregate::distinct_of(*func, col)
+                    } else {
+                        Aggregate::of(*func, col)
+                    }
+                }
+            };
+            select
+                .iter()
+                .position(|it| it.as_agg() == Some(&wanted))
+                .ok_or_else(|| {
+                    SqlError::resolve(format!(
+                        "HAVING aggregate {} is not in the select list                          (GPSJ summary tables can only restrict projected outputs)",
+                        func.name()
+                    ))
+                })?
+        }
+        ParsedExpr::Col(qn) => {
+            // Prefer an alias match for unqualified names.
+            let alias_match = qn
+                .table
+                .is_none()
+                .then(|| select.iter().position(|it| it.alias() == qn.column))
+                .flatten();
+            match alias_match {
+                Some(i) => i,
+                None => {
+                    let col = resolve_col(qn)?;
+                    select
+                        .iter()
+                        .position(|it| it.as_group_by() == Some(col))
+                        .ok_or_else(|| {
+                            SqlError::resolve(format!(
+                                "HAVING references '{}', which is neither an output                                  alias nor a group-by column",
+                                qn.to_sql()
+                            ))
+                        })?
+                }
+            }
+        }
+    };
+    Ok(HavingCond {
+        item,
+        op: h.op,
+        value: lit_value(&h.value),
+    })
+}
+
+fn resolve_condition(
+    cond: &ParsedCond,
+    catalog: &Catalog,
+    resolve_col: &impl Fn(&QualName) -> SqlResult<ColRef>,
+) -> SqlResult<Condition> {
+    let (left, op, right) = match (&cond.left, &cond.right) {
+        (ParsedOperand::Col(l), ParsedOperand::Col(r)) => {
+            (resolve_col(l)?, cond.op, Operand::Col(resolve_col(r)?))
+        }
+        (ParsedOperand::Col(l), ParsedOperand::Lit(v)) => {
+            (resolve_col(l)?, cond.op, Operand::Lit(lit_value(v)))
+        }
+        (ParsedOperand::Lit(v), ParsedOperand::Col(r)) => {
+            (resolve_col(r)?, flip(cond.op), Operand::Lit(lit_value(v)))
+        }
+        (ParsedOperand::Lit(_), ParsedOperand::Lit(_)) => {
+            return Err(SqlError::resolve(
+                "conditions between two literals are not supported",
+            ))
+        }
+    };
+    // Type compatibility.
+    if let Operand::Lit(v) = &right {
+        let col_ty = catalog
+            .def(left.table)
+            .map_err(SqlError::from)?
+            .schema
+            .column(left.column)
+            .dtype;
+        let lit_ty = v.data_type();
+        let compatible = col_ty == lit_ty || (col_ty.is_numeric() && lit_ty.is_numeric());
+        if !compatible {
+            return Err(SqlError::resolve(format!(
+                "cannot compare {} ({col_ty}) with a {lit_ty} literal",
+                left.display(catalog)
+            )));
+        }
+    }
+    Ok(Condition { left, op, right })
+}
+
+fn lit_value(lit: &ParsedLiteral) -> Value {
+    match lit {
+        ParsedLiteral::Int(v) => Value::Int(*v),
+        ParsedLiteral::Double(v) => Value::Double(*v),
+        ParsedLiteral::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Parses and resolves in one step.
+pub fn parse_view(sql: &str, catalog: &Catalog, default_name: &str) -> SqlResult<GpsjView> {
+    let parsed = crate::parser::parse(sql)?;
+    resolve(&parsed, catalog, default_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_algebra::AggFunc;
+    use md_relation::{DataType, Schema};
+
+    fn catalog() -> (Catalog, TableId, TableId, TableId) {
+        let mut cat = Catalog::new();
+        let time = cat
+            .add_table(
+                "time",
+                Schema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("month", DataType::Int),
+                    ("year", DataType::Int),
+                ]),
+                0,
+            )
+            .unwrap();
+        let product = cat
+            .add_table(
+                "product",
+                Schema::from_pairs(&[("id", DataType::Int), ("brand", DataType::Str)]),
+                0,
+            )
+            .unwrap();
+        let sale = cat
+            .add_table(
+                "sale",
+                Schema::from_pairs(&[
+                    ("id", DataType::Int),
+                    ("timeid", DataType::Int),
+                    ("productid", DataType::Int),
+                    ("price", DataType::Double),
+                ]),
+                0,
+            )
+            .unwrap();
+        cat.add_foreign_key(sale, 1, time).unwrap();
+        cat.add_foreign_key(sale, 2, product).unwrap();
+        (cat, time, product, sale)
+    }
+
+    #[test]
+    fn resolves_the_paper_view() {
+        let (cat, time, product, sale) = catalog();
+        let v = parse_view(
+            "CREATE VIEW product_sales AS \
+             SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount, \
+                    COUNT(DISTINCT brand) AS DifferentBrands \
+             FROM sale, time, product \
+             WHERE time.year = 1997 AND sale.timeid = time.id \
+               AND sale.productid = product.id \
+             GROUP BY time.month",
+            &cat,
+            "q",
+        )
+        .unwrap();
+        assert_eq!(v.name, "product_sales");
+        assert_eq!(v.tables, vec![sale, time, product]);
+        assert_eq!(v.group_by_cols(), vec![ColRef::new(time, 1)]);
+        let aggs = v.aggregates();
+        assert_eq!(aggs[0].func, AggFunc::Sum);
+        assert_eq!(aggs[0].arg, Some(ColRef::new(sale, 3))); // price
+        assert!(aggs[2].distinct);
+        assert_eq!(aggs[2].arg, Some(ColRef::new(product, 1))); // brand
+        assert_eq!(v.local_conditions(time).len(), 1);
+    }
+
+    #[test]
+    fn unqualified_ambiguous_column_rejected() {
+        let (cat, _, _, _) = catalog();
+        // `id` exists in all three tables.
+        let e = parse_view("SELECT id FROM sale, time GROUP BY id", &cat, "q").unwrap_err();
+        assert!(e.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn unknown_table_and_column_rejected() {
+        let (cat, _, _, _) = catalog();
+        assert!(parse_view("SELECT x FROM nope", &cat, "q").is_err());
+        assert!(parse_view("SELECT sale.nope FROM sale", &cat, "q").is_err());
+        assert!(parse_view(
+            "SELECT time.month FROM sale WHERE sale.id = 1 GROUP BY time.month",
+            &cat,
+            "q"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn select_group_by_must_match() {
+        let (cat, _, _, _) = catalog();
+        // month selected but not grouped.
+        assert!(parse_view("SELECT time.month, COUNT(*) FROM time", &cat, "q").is_err());
+        // grouped but not selected.
+        assert!(parse_view("SELECT COUNT(*) FROM time GROUP BY time.month", &cat, "q").is_err());
+    }
+
+    #[test]
+    fn literal_on_left_is_flipped() {
+        let (cat, time, _, _) = catalog();
+        let v = parse_view(
+            "SELECT time.month, COUNT(*) FROM time WHERE 1996 < time.year GROUP BY time.month",
+            &cat,
+            "q",
+        )
+        .unwrap();
+        let cond = &v.local_conditions(time)[0];
+        assert_eq!(cond.left, ColRef::new(time, 2));
+        assert_eq!(cond.op, CmpOp::Gt);
+    }
+
+    #[test]
+    fn type_mismatch_in_condition_rejected() {
+        let (cat, _, _, _) = catalog();
+        let e = parse_view(
+            "SELECT time.month, COUNT(*) FROM time WHERE time.year = 'x' GROUP BY time.month",
+            &cat,
+            "q",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("cannot compare"));
+    }
+
+    #[test]
+    fn numeric_literal_against_double_column_ok() {
+        let (cat, _, _, _) = catalog();
+        assert!(parse_view(
+            "SELECT sale.productid, COUNT(*) FROM sale WHERE sale.price > 5 \
+             GROUP BY sale.productid",
+            &cat,
+            "q"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn default_aliases() {
+        let (cat, _, _, _) = catalog();
+        let v = parse_view(
+            "SELECT time.month, COUNT(*), SUM(time.year), MIN(DISTINCT time.year) \
+             FROM time GROUP BY time.month",
+            &cat,
+            "q",
+        )
+        .unwrap();
+        let aliases: Vec<&str> = v.select.iter().map(|i| i.alias()).collect();
+        assert_eq!(
+            aliases,
+            vec!["month", "count_all", "sum_year", "min_distinct_year"]
+        );
+    }
+
+    #[test]
+    fn default_view_name_used_for_bare_queries() {
+        let (cat, _, _, _) = catalog();
+        let v = parse_view(
+            "SELECT time.month, COUNT(*) FROM time GROUP BY time.month",
+            &cat,
+            "adhoc",
+        )
+        .unwrap();
+        assert_eq!(v.name, "adhoc");
+    }
+}

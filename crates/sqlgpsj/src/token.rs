@@ -1,0 +1,400 @@
+//! Lexer for the GPSJ SQL subset.
+//!
+//! The token set covers exactly the SQL the paper writes: `CREATE VIEW …
+//! AS SELECT … FROM … WHERE … GROUP BY …` with the five aggregates,
+//! `DISTINCT`, `COUNT(*)`, qualified names, numeric and string literals
+//! and the six comparison operators.
+
+use std::fmt;
+
+use crate::error::{SqlError, SqlResult};
+
+/// A lexical token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the input where the token starts.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (uppercased).
+    Keyword(Keyword),
+    /// Identifier (original case preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal.
+    Double(f64),
+    /// Single-quoted string literal (quotes stripped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+}
+
+/// Recognized keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Create,
+    View,
+    As,
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    And,
+    Distinct,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl Keyword {
+    fn parse(word: &str) -> Option<Keyword> {
+        Some(match word.to_ascii_uppercase().as_str() {
+            "CREATE" => Keyword::Create,
+            "VIEW" => Keyword::View,
+            "AS" => Keyword::As,
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "HAVING" => Keyword::Having,
+            "AND" => Keyword::And,
+            "DISTINCT" => Keyword::Distinct,
+            "COUNT" => Keyword::Count,
+            "SUM" => Keyword::Sum,
+            "AVG" => Keyword::Avg,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Double(v) => write!(f, "number {v}"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Dot => write!(f, "'.'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::Ne => write!(f, "'<>'"),
+            TokenKind::Lt => write!(f, "'<'"),
+            TokenKind::Le => write!(f, "'<='"),
+            TokenKind::Gt => write!(f, "'>'"),
+            TokenKind::Ge => write!(f, "'>='"),
+            TokenKind::Semicolon => write!(f, "';'"),
+        }
+    }
+}
+
+/// Tokenizes `input`, rejecting characters outside the subset.
+pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            '(' | ')' | ',' | '.' | '*' | ';' => {
+                let kind = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    ',' => TokenKind::Comma,
+                    '.' => TokenKind::Dot,
+                    '*' => TokenKind::Star,
+                    _ => TokenKind::Semicolon,
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '<' => {
+                let kind = match bytes.get(i + 1).map(|&b| b as char) {
+                    Some('>') => {
+                        i += 1;
+                        TokenKind::Ne
+                    }
+                    Some('=') => {
+                        i += 1;
+                        TokenKind::Le
+                    }
+                    _ => TokenKind::Lt,
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '>' => {
+                let kind = match bytes.get(i + 1).map(|&b| b as char) {
+                    Some('=') => {
+                        i += 1;
+                        TokenKind::Ge
+                    }
+                    _ => TokenKind::Gt,
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::lex(start, "unterminated string literal")),
+                        Some(b'\'') => {
+                            // '' escapes a quote.
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
+                let mut j = i + 1;
+                let mut is_double = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.'
+                        && !is_double
+                        && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit())
+                    {
+                        is_double = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..j];
+                let kind =
+                    if is_double {
+                        TokenKind::Double(text.parse().map_err(|_| {
+                            SqlError::lex(start, format!("invalid number '{text}'"))
+                        })?)
+                    } else {
+                        TokenKind::Int(text.parse().map_err(|_| {
+                            SqlError::lex(start, format!("invalid integer '{text}'"))
+                        })?)
+                    };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[i..j];
+                let kind = match Keyword::parse(word) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word.to_owned()),
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(SqlError::lex(
+                    start,
+                    format!("unexpected character '{other}'"),
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("select SELECT SeLeCt"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::Select),
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_names_and_operators() {
+        assert_eq!(
+            kinds("time.year = 1997"),
+            vec![
+                TokenKind::Ident("time".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("year".into()),
+                TokenKind::Eq,
+                TokenKind::Int(1997),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("<> <= >= < >"),
+            vec![
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Gt,
+            ]
+        );
+    }
+
+    #[test]
+    fn count_star() {
+        assert_eq!(
+            kinds("COUNT(*)"),
+            vec![
+                TokenKind::Keyword(Keyword::Count),
+                TokenKind::LParen,
+                TokenKind::Star,
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into())]);
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 4.5 -3 -2.25"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Double(4.5),
+                TokenKind::Int(-3),
+                TokenKind::Double(-2.25),
+            ]
+        );
+    }
+
+    #[test]
+    fn number_then_dot_not_double() {
+        // `1.` followed by an identifier must not lex as a double.
+        assert_eq!(
+            kinds("t1.c"),
+            vec![
+                TokenKind::Ident("t1".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(tokenize("SELECT @").is_err());
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let tokens = tokenize("a = 1").unwrap();
+        assert_eq!(tokens[0].offset, 0);
+        assert_eq!(tokens[1].offset, 2);
+        assert_eq!(tokens[2].offset, 4);
+    }
+}

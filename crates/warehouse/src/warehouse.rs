@@ -1,0 +1,445 @@
+//! The `Warehouse` facade: the public API a downstream user adopts.
+//!
+//! A [`Warehouse`] plays the role of the data warehouse in the paper's
+//! Figure 1: it holds *summarized data* (materialized GPSJ views) and the
+//! *minimal current detail data* (the derived auxiliary views), and keeps
+//! both consistent as the operational sources stream changes at it. After
+//! the initial load it never reads a source again.
+//!
+//! ```
+//! use md_relation::{row, Catalog, Database, DataType, Schema};
+//! use md_warehouse::Warehouse;
+//!
+//! let mut cat = Catalog::new();
+//! let t = cat
+//!     .add_table(
+//!         "orders",
+//!         Schema::from_pairs(&[("id", DataType::Int), ("amount", DataType::Double)]),
+//!         0,
+//!     )
+//!     .unwrap();
+//! let mut db = Database::new(cat.clone());
+//! db.insert(t, row![1, 10.0]).unwrap();
+//!
+//! let mut wh = Warehouse::new(&cat);
+//! wh.add_summary_sql(
+//!     "CREATE VIEW totals AS SELECT COUNT(*) AS n, SUM(orders.amount) AS total FROM orders",
+//!     &db,
+//! )
+//! .unwrap();
+//!
+//! let change = db.insert(t, row![2, 5.0]).unwrap();
+//! wh.apply(t, &[change]).unwrap();
+//! let rows = wh.summary_rows("totals").unwrap();
+//! assert_eq!(rows, vec![row![2, 15.0]]);
+//! ```
+
+use std::collections::BTreeMap;
+
+use md_algebra::GpsjView;
+use md_core::{derive, DerivedPlan};
+use md_maintain::{MaintStats, MaintenanceEngine, StorageLine};
+use md_relation::{Bag, Catalog, Change, Database, Decoder, Encoder, Row, TableId};
+use md_sql::{parse_view, view_to_sql};
+
+use crate::error::{Result, WarehouseError};
+
+/// One group of identical auxiliary views stored by multiple summaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedDetail {
+    /// The auxiliary view name (e.g. `saleDTL`).
+    pub aux_name: String,
+    /// The covered base table.
+    pub table: String,
+    /// Summaries whose plans contain this exact definition.
+    pub summaries: Vec<String>,
+    /// Stored tuples per copy.
+    pub rows: u64,
+    /// Paper-model bytes per copy; sharing saves
+    /// `(summaries.len() - 1) × bytes_each`.
+    pub bytes_each: u64,
+}
+
+impl SharedDetail {
+    /// Bytes saved by deduplicating this group to a single copy.
+    pub fn dedup_savings(&self) -> u64 {
+        (self.summaries.len() as u64 - 1) * self.bytes_each
+    }
+}
+
+/// A data warehouse maintaining one or more GPSJ summary views over
+/// minimal detail data.
+pub struct Warehouse {
+    catalog: Catalog,
+    engines: BTreeMap<String, MaintenanceEngine>,
+}
+
+impl Warehouse {
+    /// Creates an empty warehouse over the source catalog.
+    pub fn new(catalog: &Catalog) -> Self {
+        Warehouse {
+            catalog: catalog.clone(),
+            engines: BTreeMap::new(),
+        }
+    }
+
+    /// The source catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Names of the registered summary views.
+    pub fn summaries(&self) -> impl Iterator<Item = &str> {
+        self.engines.keys().map(String::as_str)
+    }
+
+    /// Registers a summary view from SQL: derives its minimal auxiliary
+    /// views (Algorithm 3.2), materializes them and the view from `db`
+    /// (the one-time initial load), and returns the view name.
+    pub fn add_summary_sql(&mut self, sql: &str, db: &Database) -> Result<String> {
+        let view = parse_view(sql, &self.catalog, "unnamed_summary")?;
+        let name = view.name.clone();
+        self.add_summary(view, db)?;
+        Ok(name)
+    }
+
+    /// Registers an already-constructed view definition.
+    pub fn add_summary(&mut self, view: GpsjView, db: &Database) -> Result<()> {
+        if self.engines.contains_key(&view.name) {
+            return Err(WarehouseError::DuplicateSummary(view.name));
+        }
+        let plan = derive(&view, &self.catalog)?;
+        let mut engine = MaintenanceEngine::new(plan, &self.catalog)?;
+        engine.initial_load(db)?;
+        self.engines.insert(view.name.clone(), engine);
+        Ok(())
+    }
+
+    /// Removes a summary view and its detail data.
+    pub fn drop_summary(&mut self, name: &str) -> Result<()> {
+        self.engines
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| WarehouseError::UnknownSummary(name.to_owned()))
+    }
+
+    /// Applies a batch of source changes on `table` to every summary —
+    /// with no source access.
+    pub fn apply(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
+        for engine in self.engines.values_mut() {
+            if engine.plan().view.tables.contains(&table) {
+                engine.apply(table, changes)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn engine(&self, name: &str) -> Result<&MaintenanceEngine> {
+        self.engines
+            .get(name)
+            .ok_or_else(|| WarehouseError::UnknownSummary(name.to_owned()))
+    }
+
+    /// The derived plan of a summary.
+    pub fn plan(&self, name: &str) -> Result<&DerivedPlan> {
+        Ok(self.engine(name)?.plan())
+    }
+
+    /// The current contents of a summary as a bag of output rows.
+    pub fn summary_bag(&self, name: &str) -> Result<Bag> {
+        Ok(self.engine(name)?.summary_bag()?)
+    }
+
+    /// The current contents of a summary, sorted (deterministic output for
+    /// reports and tests).
+    pub fn summary_rows(&self, name: &str) -> Result<Vec<Row>> {
+        let bag = self.summary_bag(name)?;
+        Ok(bag.sorted_rows().into_iter().map(|(r, _)| r).collect())
+    }
+
+    /// Maintenance work counters of a summary.
+    pub fn stats(&self, name: &str) -> Result<MaintStats> {
+        Ok(self.engine(name)?.stats())
+    }
+
+    /// Storage accounting for one summary (auxiliary views + the view).
+    pub fn storage_report(&self, name: &str) -> Result<Vec<StorageLine>> {
+        Ok(self.engine(name)?.storage_report())
+    }
+
+    /// Identifies auxiliary views with *identical definitions* across
+    /// summaries — detail data the warehouse stores multiple times today
+    /// and could share. This is the analysis step toward the paper's
+    /// Section 4 direction of deriving minimal detail data for whole
+    /// *classes* of summary data rather than one view at a time.
+    pub fn shared_detail_report(&self) -> Vec<SharedDetail> {
+        use std::collections::HashMap;
+        // Definition fingerprint → (store facts, owning summaries).
+        let mut groups: HashMap<String, SharedDetail> = HashMap::new();
+        for (summary, engine) in &self.engines {
+            for store in engine.aux_stores() {
+                let def = store.def();
+                let fingerprint = format!(
+                    "{:?}|{:?}|{:?}|{:?}",
+                    def.table, def.columns, def.local_conditions, def.semijoins
+                );
+                let entry = groups.entry(fingerprint).or_insert_with(|| SharedDetail {
+                    aux_name: def.name.clone(),
+                    table: self
+                        .catalog
+                        .def(def.table)
+                        .map(|d| d.name.clone())
+                        .unwrap_or_default(),
+                    summaries: Vec::new(),
+                    rows: store.len() as u64,
+                    bytes_each: store.paper_bytes(),
+                });
+                entry.summaries.push(summary.clone());
+            }
+        }
+        let mut out: Vec<SharedDetail> = groups
+            .into_values()
+            .filter(|g| g.summaries.len() > 1)
+            .collect();
+        out.sort_by(|a, b| a.aux_name.cmp(&b.aux_name));
+        out
+    }
+
+    /// Total detail-data bytes (paper model) across all summaries.
+    pub fn total_detail_bytes(&self) -> u64 {
+        self.engines
+            .values()
+            .flat_map(|e| e.aux_stores())
+            .map(|s| s.paper_bytes())
+            .sum()
+    }
+
+    /// Oracle check of every summary against a recomputation from `db`
+    /// (testing/experiments only).
+    pub fn verify_all(&self, db: &Database) -> Result<bool> {
+        for engine in self.engines.values() {
+            if !engine.verify_against(db)? || !engine.verify_aux_against(db)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence
+    // ------------------------------------------------------------------
+
+    /// Serializes the whole warehouse — every summary's view definition
+    /// (as SQL) and its engine state — into one versioned binary image.
+    /// Together with [`Warehouse::restore`] this lets the warehouse
+    /// survive restarts without ever contacting the sources, which is the
+    /// paper's operating assumption.
+    pub fn save(&self) -> Result<Vec<u8>> {
+        let mut e = Encoder::new();
+        e.put_str("MDWH1");
+        e.put_u32(self.engines.len() as u32);
+        for (name, engine) in &self.engines {
+            e.put_str(name);
+            e.put_str(&view_to_sql(&engine.plan().view, &self.catalog)?);
+            let image = engine.snapshot()?;
+            e.put_u32(image.len() as u32);
+            for b in image {
+                e.put_u8(b);
+            }
+        }
+        Ok(e.into_bytes())
+    }
+
+    /// Rebuilds a warehouse from a [`Warehouse::save`] image over the same
+    /// catalog. View definitions are re-parsed and re-derived; each
+    /// engine's plan fingerprint guards against catalog or contract drift
+    /// since the snapshot was taken.
+    pub fn restore(catalog: &Catalog, bytes: &[u8]) -> Result<Self> {
+        let mut d = Decoder::new(bytes);
+        let header = d.take_str().map_err(WarehouseError::from)?;
+        if header != "MDWH1" {
+            return Err(WarehouseError::Maintain(
+                md_maintain::MaintainError::InvariantViolation(
+                    "not a warehouse image (bad header)".into(),
+                ),
+            ));
+        }
+        let mut wh = Warehouse::new(catalog);
+        let n = d.take_u32().map_err(WarehouseError::from)?;
+        for _ in 0..n {
+            let name = d.take_str().map_err(WarehouseError::from)?;
+            let sql = d.take_str().map_err(WarehouseError::from)?;
+            let len = d.take_u32().map_err(WarehouseError::from)? as usize;
+            let mut image = Vec::with_capacity(len.min(d.remaining()));
+            for _ in 0..len {
+                image.push(d.take_u8().map_err(WarehouseError::from)?);
+            }
+            let view = parse_view(&sql, catalog, &name)?;
+            let plan = derive(&view, catalog)?;
+            let engine = MaintenanceEngine::restore(plan, catalog, &image)?;
+            wh.engines.insert(name, engine);
+        }
+        Ok(wh)
+    }
+
+    /// A human-readable explanation of one summary's derivation: the join
+    /// graph (Figure 2 style), per-table outcomes and the auxiliary view
+    /// SQL (Section 1.1 style).
+    pub fn explain(&self, name: &str) -> Result<String> {
+        use std::fmt::Write as _;
+        let engine = self.engine(name)?;
+        let plan = engine.plan();
+        let mut out = String::new();
+        let _ = writeln!(out, "summary view: {name}");
+        let _ = writeln!(
+            out,
+            "extended join graph: {}",
+            plan.graph.display(&self.catalog)
+        );
+        for entry in &plan.aux {
+            match entry {
+                md_core::AuxEntry::Omitted { table, reason } => {
+                    let tname = self
+                        .catalog
+                        .def(*table)
+                        .map(|d| d.name.clone())
+                        .unwrap_or_default();
+                    let _ = writeln!(out, "\n-- X_{tname}: OMITTED ({reason})");
+                }
+                md_core::AuxEntry::Materialized(def) => {
+                    if let Some(sql) = md_sql::aux_view_to_sql(plan, def.table, &self.catalog)? {
+                        let _ = writeln!(out, "\n{sql}");
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out);
+        for line in engine.storage_report() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>12} rows {:>14} bytes",
+                line.name, line.rows, line.paper_bytes
+            );
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_relation::row;
+    use md_workload::{
+        generate_retail, product_brand_changes, sale_changes, Contracts, RetailParams, UpdateMix,
+    };
+
+    #[test]
+    fn warehouse_full_lifecycle() {
+        let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let mut wh = Warehouse::new(db.catalog());
+        let name = wh
+            .add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db)
+            .unwrap();
+        assert_eq!(name, "product_sales");
+        assert!(wh.verify_all(&db).unwrap());
+
+        // Stream changes through.
+        let changes = sale_changes(&mut db, &schema, 100, UpdateMix::balanced(), 3);
+        for c in &changes {
+            wh.apply(schema.sale, std::slice::from_ref(c)).unwrap();
+        }
+        let brand_changes = product_brand_changes(&mut db, &schema, 3, 4);
+        wh.apply(schema.product, &brand_changes).unwrap();
+        assert!(wh.verify_all(&db).unwrap());
+    }
+
+    #[test]
+    fn multiple_summaries_share_the_stream() {
+        let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let mut wh = Warehouse::new(db.catalog());
+        wh.add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db)
+            .unwrap();
+        wh.add_summary_sql(md_workload::views::STORE_REVENUE_SQL, &db)
+            .unwrap();
+        wh.add_summary_sql(md_workload::views::DAILY_PRODUCT_SQL, &db)
+            .unwrap();
+        assert_eq!(wh.summaries().count(), 3);
+
+        let changes = sale_changes(&mut db, &schema, 60, UpdateMix::balanced(), 5);
+        for c in &changes {
+            wh.apply(schema.sale, std::slice::from_ref(c)).unwrap();
+        }
+        assert!(wh.verify_all(&db).unwrap());
+        // daily_product's fact auxiliary view is eliminated.
+        assert!(wh.plan("daily_product").unwrap().root_omitted());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_summary_errors() {
+        let (db, _) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let mut wh = Warehouse::new(db.catalog());
+        wh.add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db)
+            .unwrap();
+        assert!(matches!(
+            wh.add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db),
+            Err(WarehouseError::DuplicateSummary(_))
+        ));
+        assert!(matches!(
+            wh.summary_bag("nope"),
+            Err(WarehouseError::UnknownSummary(_))
+        ));
+        wh.drop_summary("product_sales").unwrap();
+        assert!(wh.drop_summary("product_sales").is_err());
+    }
+
+    #[test]
+    fn explain_mentions_graph_and_aux_views() {
+        let (db, _) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let mut wh = Warehouse::new(db.catalog());
+        wh.add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db)
+            .unwrap();
+        let text = wh.explain("product_sales").unwrap();
+        assert!(text.contains("sale -> time(g)"));
+        assert!(text.contains("CREATE VIEW saleDTL"));
+        assert!(text.contains("timeDTL"));
+    }
+
+    #[test]
+    fn shared_detail_is_detected_across_summaries() {
+        let (db, _) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let mut wh = Warehouse::new(db.catalog());
+        // Two views over the product dimension with identical productDTL
+        // definitions (id + brand, no conditions).
+        wh.add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db)
+            .unwrap();
+        wh.add_summary_sql(
+            "CREATE VIEW brand_counts AS \
+             SELECT product.brand, COUNT(*) AS n FROM sale, product \
+             WHERE sale.productid = product.id GROUP BY product.brand",
+            &db,
+        )
+        .unwrap();
+        let shared = wh.shared_detail_report();
+        let product_group = shared.iter().find(|g| g.table == "product").unwrap();
+        assert_eq!(product_group.summaries.len(), 2);
+        assert!(product_group.dedup_savings() > 0);
+        // The two saleDTLs differ (different group columns) — not shared.
+        assert!(!shared.iter().any(|g| g.table == "sale"));
+    }
+
+    #[test]
+    fn changes_to_unreferenced_tables_are_ignored() {
+        let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let mut wh = Warehouse::new(db.catalog());
+        // product_sales_max references only `sale`.
+        wh.add_summary_sql(md_workload::views::PRODUCT_SALES_MAX_SQL, &db)
+            .unwrap();
+        let next_store = db.table(schema.store).len() as i64 + 1;
+        let c = db
+            .insert(schema.store, row![next_store, "x st", "city-x", "us", "m"])
+            .unwrap();
+        wh.apply(schema.store, &[c]).unwrap();
+        assert!(wh.verify_all(&db).unwrap());
+        assert_eq!(wh.stats("product_sales_max").unwrap().rows_processed, 0);
+    }
+}

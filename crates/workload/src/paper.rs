@@ -1,0 +1,80 @@
+//! The paper's concrete example instances, for exact reproduction of
+//! Tables 3 and 4.
+
+use md_relation::{row, Row};
+
+/// The eight `sale` rows behind Table 3 (shown there already projected to
+/// `(timeid, productid, price, COUNT(*))` before summing): two sales of
+/// product 1 on day 1 at 10, one of product 2 at 10, one of product 3 at
+/// 20, two of product 1 on day 2 at 10 and 20, and two of product 2 on
+/// day 2 at 10 each. Schema: `sale(id, timeid, productid, storeid, price)`.
+pub fn table3_sale_rows() -> Vec<Row> {
+    vec![
+        row![1, 1, 1, 1, 10.0],
+        row![2, 1, 1, 1, 10.0],
+        row![3, 1, 2, 1, 10.0],
+        row![4, 1, 3, 1, 20.0],
+        row![5, 2, 1, 1, 10.0],
+        row![6, 2, 1, 1, 20.0],
+        row![7, 2, 2, 1, 10.0],
+        row![8, 2, 2, 1, 10.0],
+    ]
+}
+
+/// Table 3: the sale auxiliary view after adding `COUNT(*)` but **before**
+/// replacing `price` by `SUM(price)` — `(timeid, productid, price, cnt)`.
+pub fn table3_expected() -> Vec<Row> {
+    vec![
+        row![1, 1, 10.0, 2],
+        row![1, 2, 10.0, 1],
+        row![1, 3, 20.0, 1],
+        row![2, 1, 10.0, 1],
+        row![2, 1, 20.0, 1],
+        row![2, 2, 10.0, 2],
+    ]
+}
+
+/// Table 4: the sale auxiliary view **after** smart duplicate compression —
+/// `(timeid, productid, SUM(price), COUNT(*))`.
+pub fn table4_expected() -> Vec<Row> {
+    vec![
+        row![1, 1, 20.0, 2],
+        row![1, 2, 10.0, 1],
+        row![1, 3, 20.0, 1],
+        row![2, 1, 30.0, 2],
+        row![2, 2, 20.0, 2],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_mutually_consistent() {
+        // Summing Table 3's (price × cnt) per (timeid, productid) must give
+        // Table 4's SUM(price), and the counts must add up.
+        use std::collections::BTreeMap;
+        let mut agg: BTreeMap<(i64, i64), (f64, i64)> = BTreeMap::new();
+        for r in table3_expected() {
+            let t = r[0].as_int().unwrap();
+            let p = r[1].as_int().unwrap();
+            let price = r[2].as_double().unwrap();
+            let cnt = r[3].as_int().unwrap();
+            let e = agg.entry((t, p)).or_insert((0.0, 0));
+            e.0 += price * cnt as f64;
+            e.1 += cnt;
+        }
+        let expected: Vec<Row> = agg
+            .into_iter()
+            .map(|((t, p), (s, c))| row![t, p, s, c])
+            .collect();
+        assert_eq!(expected, table4_expected());
+    }
+
+    #[test]
+    fn raw_rows_have_paper_cardinality() {
+        assert_eq!(table3_sale_rows().len(), 8);
+        assert_eq!(table4_expected().len(), 5);
+    }
+}

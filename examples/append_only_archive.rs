@@ -1,0 +1,118 @@
+//! Old detail data: the append-only regime (paper Section 4).
+//!
+//! Archive/fact tables in warehouses are frequently append-only. Declaring
+//! that contract (`Catalog::set_insert_only`) relaxes the CSMA definition:
+//! `MIN`/`MAX` become maintainable from deltas alone, and the fact
+//! auxiliary view — which the general regime must keep to repair extremum
+//! deletions — disappears entirely. The same view is derived under both
+//! regimes side by side.
+//!
+//! Run with: `cargo run --example append_only_archive`
+
+use md_relation::{row, Catalog, DataType, Database, Schema, TableId};
+use md_warehouse::Warehouse;
+
+const SENSOR_RANGE: &str = "\
+CREATE VIEW sensor_range AS
+SELECT station.region, MIN(reading) AS Lo, MAX(reading) AS Hi,
+       AVG(reading) AS Mean, COUNT(*) AS N
+FROM measurement, station
+WHERE measurement.stationid = station.id
+GROUP BY station.region";
+
+fn telemetry_catalog(insert_only: bool) -> (Catalog, TableId, TableId) {
+    let mut cat = Catalog::new();
+    let station = cat
+        .add_table(
+            "station",
+            Schema::from_pairs(&[("id", DataType::Int), ("region", DataType::Str)]),
+            0,
+        )
+        .expect("fresh");
+    let measurement = cat
+        .add_table(
+            "measurement",
+            Schema::from_pairs(&[
+                ("id", DataType::Int),
+                ("stationid", DataType::Int),
+                ("reading", DataType::Double),
+            ]),
+            0,
+        )
+        .expect("fresh");
+    cat.add_foreign_key(measurement, 1, station).expect("typed");
+    if insert_only {
+        cat.set_insert_only(station).expect("valid");
+        cat.set_insert_only(measurement).expect("valid");
+    } else {
+        cat.set_append_only(station).expect("valid");
+    }
+    (cat, station, measurement)
+}
+
+fn load(db: &mut Database, station: TableId, measurement: TableId) {
+    for (id, region) in [(1, "north"), (2, "north"), (3, "south")] {
+        db.insert(station, row![id, region]).expect("fresh");
+    }
+    for k in 0..200i64 {
+        db.insert(
+            measurement,
+            row![k + 1, k % 3 + 1, (k * 7 % 50) as f64 * 0.25],
+        )
+        .expect("fresh");
+    }
+}
+
+fn main() {
+    for insert_only in [false, true] {
+        let regime = if insert_only {
+            "append-only (old detail data)"
+        } else {
+            "general"
+        };
+        println!("=== regime: {regime} ===\n");
+        let (cat, station, measurement) = telemetry_catalog(insert_only);
+        let mut db = Database::new(cat.clone());
+        load(&mut db, station, measurement);
+
+        let mut wh = Warehouse::new(&cat);
+        wh.add_summary_sql(SENSOR_RANGE, &db)
+            .expect("view registers");
+        println!("{}", wh.explain("sensor_range").expect("summary exists"));
+
+        // Stream a burst of new readings, including fresh extremes.
+        let mut changes = Vec::new();
+        for k in 200..260i64 {
+            changes.push(
+                db.insert(measurement, row![k + 1, k % 3 + 1, (k % 90) as f64 * 0.5])
+                    .expect("fresh"),
+            );
+        }
+        wh.apply(measurement, &changes)
+            .expect("maintenance succeeds");
+        assert!(wh.verify_all(&db).expect("verification runs"));
+
+        println!("sensor_range after 60 appended readings:");
+        for r in wh.summary_rows("sensor_range").expect("summary exists") {
+            println!("  {r}");
+        }
+        let stats = wh.stats("sensor_range").expect("summary exists");
+        println!(
+            "stats: {} rows processed, {} groups recomputed, {} rebuilds\n",
+            stats.rows_processed, stats.groups_recomputed, stats.summary_rebuilds
+        );
+
+        if insert_only {
+            assert!(
+                wh.plan("sensor_range")
+                    .expect("summary exists")
+                    .root_omitted(),
+                "append-only regime eliminates the fact auxiliary view"
+            );
+            println!(
+                "(the measurement auxiliary view was ELIMINATED: MIN/MAX are\n\
+                 maintainable from deltas alone when deletions cannot occur)\n"
+            );
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the paper's central invariants:
+//!
+//! * **P1** — the view reconstructed from the auxiliary views equals the
+//!   view evaluated from the base tables;
+//! * **P2** — after an arbitrary mixed update stream, the incrementally
+//!   maintained `{V} ∪ X` equals recomputation;
+//! * **P4** — view definitions round-trip through the SQL printer;
+//! * **P5** — compression assigns each retained attribute exactly one role.
+
+use proptest::prelude::*;
+
+use md_algebra::eval_view;
+use md_core::{compress, derive};
+use md_maintain::{MaintenanceEngine, ReconExecutor};
+use md_sql::{parse_view, view_to_sql};
+use md_workload::{
+    generate_retail, product_brand_changes, retail_catalog, sale_changes, views, Contracts,
+    RetailParams, UpdateMix,
+};
+
+/// The pool of views properties quantify over.
+fn view_pool() -> Vec<&'static str> {
+    vec![
+        views::PRODUCT_SALES_SQL,
+        views::PRODUCT_SALES_MAX_SQL,
+        views::STORE_REVENUE_SQL,
+        views::DAILY_PRODUCT_SQL,
+        "CREATE VIEW mixed AS SELECT time.month, MIN(price) AS lo, AVG(price) AS avgp, \
+         COUNT(DISTINCT brand) AS brands, COUNT(*) AS n \
+         FROM sale, time, product \
+         WHERE sale.timeid = time.id AND sale.productid = product.id \
+         GROUP BY time.month",
+    ]
+}
+
+fn small_params(seed: u64) -> RetailParams {
+    RetailParams {
+        days: 6,
+        stores: 2,
+        products: 8,
+        products_sold_per_day_per_store: 3,
+        transactions_per_product: 2,
+        start_year: 1996,
+        year_split: 3,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// P1: reconstruction from X ≡ evaluation from the sources.
+    #[test]
+    fn p1_reconstruction_matches_oracle(seed in 0u64..500, view_idx in 0usize..5) {
+        let (db, _) = generate_retail(small_params(seed), Contracts::Tight);
+        let cat = db.catalog().clone();
+        let view = parse_view(view_pool()[view_idx], &cat, "v").unwrap();
+        let plan = derive(&view, &cat).unwrap();
+        let mut engine = MaintenanceEngine::new(plan, &cat).unwrap();
+        engine.initial_load(&db).unwrap();
+        prop_assume!(engine.plan().reconstruction.is_some());
+
+        // Reconstruct purely from the auxiliary stores.
+        let aux: std::collections::BTreeMap<_, _> = engine
+            .plan()
+            .materialized()
+            .map(|d| d.table)
+            .map(|t| (t, engine.aux_store(t).unwrap().clone()))
+            .collect();
+        let recon = ReconExecutor::new(engine.plan(), &cat, &aux).unwrap();
+        let from_aux = recon.to_bag().unwrap();
+        let from_sources = eval_view(&view, &db).unwrap();
+        prop_assert_eq!(from_aux, from_sources);
+    }
+
+    /// P2: incremental maintenance ≡ recomputation after arbitrary streams.
+    #[test]
+    fn p2_maintenance_matches_oracle(
+        seed in 0u64..500,
+        view_idx in 0usize..5,
+        n_changes in 1usize..120,
+        delete_pct in 0u8..45,
+        update_pct in 0u8..45,
+        brand_churn in 0usize..3,
+    ) {
+        let (mut db, schema) = generate_retail(small_params(seed), Contracts::Tight);
+        let cat = db.catalog().clone();
+        let view = parse_view(view_pool()[view_idx], &cat, "v").unwrap();
+        let plan = derive(&view, &cat).unwrap();
+        let mut engine = MaintenanceEngine::new(plan, &cat).unwrap();
+        engine.initial_load(&db).unwrap();
+
+        let mix = UpdateMix { delete_pct, update_pct };
+        let changes = sale_changes(&mut db, &schema, n_changes, mix, seed ^ 0xabcd);
+        engine.apply(schema.sale, &changes).unwrap();
+        if brand_churn > 0 && view.tables.contains(&schema.product) {
+            let changes = product_brand_changes(&mut db, &schema, brand_churn, seed ^ 0x77);
+            engine.apply(schema.product, &changes).unwrap();
+        }
+        prop_assert!(engine.verify_against(&db).unwrap());
+        prop_assert!(engine.verify_aux_against(&db).unwrap());
+    }
+
+    /// P4: SQL printing round-trips.
+    #[test]
+    fn p4_sql_round_trip(view_idx in 0usize..5) {
+        let (cat, _) = retail_catalog(Contracts::Tight);
+        let v1 = parse_view(view_pool()[view_idx], &cat, "v").unwrap();
+        let sql = view_to_sql(&v1, &cat).unwrap();
+        let v2 = parse_view(&sql, &cat, "v").unwrap();
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// P5: compression partitions retained attributes into disjoint roles,
+    /// and degenerate views never carry a count.
+    #[test]
+    fn p5_compression_roles_are_disjoint(view_idx in 0usize..5) {
+        let (cat, _) = retail_catalog(Contracts::Tight);
+        let view = parse_view(view_pool()[view_idx], &cat, "v").unwrap();
+        for &t in &view.tables {
+            let spec = compress(&view, &cat, t).unwrap();
+            for g in &spec.group_cols {
+                prop_assert!(!spec.sum_cols.contains(g), "column {g} has two roles");
+            }
+            let key = cat.def(t).unwrap().key_col;
+            if spec.group_cols.contains(&key) {
+                prop_assert!(!spec.include_count);
+                prop_assert!(spec.sum_cols.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! GPSJ minimal auxiliary views vs. the PSJ baseline (Quass et al. [14]):
+//! smart duplicate compression must shrink the fact-side detail data by
+//! (roughly) the duplication factor, while both remain sufficient for the
+//! same summary.
+
+use md_core::derive;
+use md_maintain::{load_psj_stores, psj_totals, MaintenanceEngine};
+use md_workload::{generate_retail, views, Contracts, RetailParams};
+
+#[test]
+fn gpsj_detail_is_never_larger_than_psj() {
+    let (db, _) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let cat = db.catalog().clone();
+    for view_fn in [views::product_sales, views::store_revenue] {
+        let view = view_fn(&cat).unwrap();
+        let plan = derive(&view, &cat).unwrap();
+        let mut engine = MaintenanceEngine::new(plan, &cat).unwrap();
+        engine.initial_load(&db).unwrap();
+        let gpsj_bytes: u64 = engine.aux_stores().map(|s| s.paper_bytes()).sum();
+
+        let psj = load_psj_stores(&view, &cat, &db).unwrap();
+        let (_, psj_bytes) = psj_totals(&psj);
+        assert!(
+            gpsj_bytes <= psj_bytes,
+            "view {}: GPSJ {gpsj_bytes} > PSJ {psj_bytes}",
+            view.name
+        );
+    }
+}
+
+#[test]
+fn compression_ratio_tracks_duplication_factor() {
+    // With T transactions per (day, store, product) and a view grouping
+    // sales on (timeid, productid), the PSJ fact store holds every
+    // transaction while the GPSJ store holds one tuple per group — the
+    // row-count ratio must be at least T (stores × T in fact, since the
+    // view ignores the store dimension).
+    let params = RetailParams {
+        days: 6,
+        stores: 3,
+        products: 8,
+        products_sold_per_day_per_store: 4,
+        transactions_per_product: 5,
+        start_year: 1997, // all data inside the view's year filter
+        year_split: 6,
+        seed: 5,
+    };
+    let (db, schema) = generate_retail(params, Contracts::Tight);
+    let cat = db.catalog().clone();
+    let view = views::product_sales(&cat).unwrap();
+
+    let plan = derive(&view, &cat).unwrap();
+    let mut engine = MaintenanceEngine::new(plan, &cat).unwrap();
+    engine.initial_load(&db).unwrap();
+    let gpsj_fact_rows = engine.aux_store(schema.sale).unwrap().len() as u64;
+
+    let psj = load_psj_stores(&view, &cat, &db).unwrap();
+    let psj_fact_rows = psj
+        .iter()
+        .find(|s| s.def().table == schema.sale)
+        .unwrap()
+        .len() as u64;
+
+    assert_eq!(psj_fact_rows, params.fact_rows());
+    let ratio = psj_fact_rows as f64 / gpsj_fact_rows as f64;
+    assert!(
+        ratio >= params.transactions_per_product as f64,
+        "ratio {ratio} below the duplication factor"
+    );
+}
+
+#[test]
+fn psj_and_gpsj_support_the_same_summary() {
+    // The PSJ fact store retains enough to recompute the view: grouping
+    // its raw tuples must give the same answer the GPSJ engine maintains.
+    let (db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let cat = db.catalog().clone();
+    let view = views::product_sales_max(&cat).unwrap();
+
+    let plan = derive(&view, &cat).unwrap();
+    let mut engine = MaintenanceEngine::new(plan, &cat).unwrap();
+    engine.initial_load(&db).unwrap();
+    let maintained = engine.summary_bag().unwrap();
+
+    // Recompute from the PSJ store by brute force.
+    let psj = load_psj_stores(&view, &cat, &db).unwrap();
+    let fact = psj.iter().find(|s| s.def().table == schema.sale).unwrap();
+    use std::collections::HashMap;
+    let mut groups: HashMap<i64, (f64, f64, i64)> = HashMap::new();
+    for (row, state) in fact.iter() {
+        assert_eq!(state.cnt, 1, "PSJ stores are uncompressed");
+        // PSJ fact columns: id, productid, price (sorted source order).
+        let pid = row[1].as_int().unwrap();
+        let price = row[2].as_double().unwrap();
+        let e = groups.entry(pid).or_insert((f64::MIN, 0.0, 0));
+        e.0 = e.0.max(price);
+        e.1 += price;
+        e.2 += 1;
+    }
+    let mut recomputed = md_relation::Bag::new();
+    for (pid, (mx, sum, n)) in groups {
+        recomputed.insert(md_relation::row![pid, mx, sum, n]);
+    }
+    assert_eq!(maintained, recomputed);
+}
