@@ -337,11 +337,49 @@ fn bench_dim_update_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Durability overhead: the same warehouse batch applied with the change
+/// log (WAL) enabled vs disabled. The log append is a serialize + CRC +
+/// copy per batch — this measures what crash safety costs per change.
+fn bench_wal_overhead(c: &mut Criterion) {
+    use md_warehouse::Warehouse;
+    use md_workload::{generate_retail, Contracts};
+
+    let mut group = c.benchmark_group("wal_overhead");
+    group.sample_size(10);
+    for &batch in &[100usize, 1000] {
+        group.throughput(Throughput::Elements(batch as u64));
+        for (label, wal_on) in [("wal_on", true), ("wal_off", false)] {
+            group.bench_with_input(BenchmarkId::new(label, batch), &batch, |b, &batch| {
+                b.iter_batched(
+                    || {
+                        let (mut db, schema) = generate_retail(params(), Contracts::Tight);
+                        let mut wh = Warehouse::new(db.catalog());
+                        wh.set_wal_enabled(wal_on);
+                        wh.add_summary_sql(views::PRODUCT_SALES_SQL, &db)
+                            .expect("registers");
+                        let changes =
+                            sale_changes(&mut db, &schema, batch, UpdateMix::balanced(), 7);
+                        (wh, schema, changes)
+                    },
+                    |(mut wh, schema, changes)| {
+                        wh.apply(schema.sale, black_box(&changes))
+                            .expect("maintains");
+                        wh
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_maintenance,
     bench_non_csmas_ablation,
     bench_append_only_regime,
-    bench_dim_update_ablation
+    bench_dim_update_ablation,
+    bench_wal_overhead
 );
 criterion_main!(benches);

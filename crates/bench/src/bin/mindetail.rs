@@ -13,7 +13,11 @@
 //! \shared                    auxiliary views shared across summaries
 //! \churn N                   stream N random source changes through
 //! \verify                    oracle-check every summary (demo only)
-//! \save FILE | \restore FILE persist / recover the warehouse image
+//! \audit                     source-free integrity audit (V vs X, indexes)
+//! \deadletters               rejected batches kept for inspection
+//! \wal                       change-log status (records, bytes)
+//! \save FILE | \restore FILE persist / restart from the warehouse image
+//! \recover FILE              crash recovery: image + FILE.wal log replay
 //! \help | \quit
 //! ```
 //!
@@ -57,6 +61,8 @@ fn main() {
             "\\rows product_sales",
             "\\storage",
             "\\verify",
+            "\\audit",
+            "\\wal",
         ] {
             println!("mindetail> {cmd}");
             shell.exec(cmd);
@@ -166,7 +172,8 @@ impl Shell {
                     "CREATE VIEW ... ;  register a GPSJ summary view\n\
                      \\tables  \\views  \\explain NAME  \\rows NAME [N]\n\
                      \\storage  \\shared  \\churn N  \\verify\n\
-                     \\save FILE  \\restore FILE  \\quit"
+                     \\audit  \\deadletters  \\wal\n\
+                     \\save FILE  \\restore FILE  \\recover FILE  \\quit"
                 );
             }
             "\\tables" => {
@@ -267,11 +274,81 @@ impl Shell {
                     }
                 );
             }
+            "\\audit" => {
+                let reports = self.wh.audit();
+                if reports.is_empty() {
+                    println!("(no summaries registered)");
+                }
+                for (name, report) in reports {
+                    if report.is_clean() {
+                        println!("{name}: clean");
+                    } else {
+                        println!("{name}: {} finding(s)", report.findings.len());
+                        for f in &report.findings {
+                            println!("  - {f}");
+                        }
+                    }
+                }
+            }
+            "\\deadletters" => {
+                let letters = self.wh.dead_letters();
+                if letters.is_empty() {
+                    println!("(no rejected batches)");
+                }
+                for (i, l) in letters.iter().enumerate() {
+                    let tname = self
+                        .db
+                        .catalog()
+                        .def(l.table)
+                        .map(|d| d.name.clone())
+                        .unwrap_or_else(|_| l.table.to_string());
+                    let at = l
+                        .change_index
+                        .map(|c| format!(" at change #{c}"))
+                        .unwrap_or_default();
+                    println!(
+                        "#{i}: {} change(s) on '{tname}'{at}: {}",
+                        l.changes.len(),
+                        l.reason
+                    );
+                }
+            }
+            "\\wal" => match self.wh.wal_bytes() {
+                None => println!("change log disabled"),
+                Some(bytes) => {
+                    let (records, valid) =
+                        md_maintain::Wal::replay(bytes).map_err(|e| e.to_string())?;
+                    println!(
+                        "change log: {} record(s), {} ({} valid)",
+                        records.len(),
+                        human_bytes(bytes.len() as u64),
+                        human_bytes(valid as u64)
+                    );
+                    if let Some(last) = records.last() {
+                        let tname = self
+                            .db
+                            .catalog()
+                            .def(last.table)
+                            .map(|d| d.name.clone())
+                            .unwrap_or_else(|_| last.table.to_string());
+                        println!(
+                            "last record: lsn {} on '{tname}' ({} change(s))",
+                            last.lsn,
+                            last.changes.len()
+                        );
+                    }
+                }
+            },
             "\\save" => {
                 let path = arg1.ok_or("usage: \\save FILE")?;
                 let image = self.wh.save().map_err(|e| e.to_string())?;
                 std::fs::write(path, &image).map_err(|e| e.to_string())?;
                 println!("saved {} bytes to {path}", image.len());
+                if let Some(wal) = self.wh.wal_bytes() {
+                    let wal_path = format!("{path}.wal");
+                    std::fs::write(&wal_path, wal).map_err(|e| e.to_string())?;
+                    println!("saved {} change-log bytes to {wal_path}", wal.len());
+                }
             }
             "\\restore" => {
                 let path = arg1.ok_or("usage: \\restore FILE")?;
@@ -279,6 +356,18 @@ impl Shell {
                 self.wh =
                     Warehouse::restore(self.db.catalog(), &image).map_err(|e| e.to_string())?;
                 println!("restored {} summaries", self.wh.summaries().count());
+            }
+            "\\recover" => {
+                let path = arg1.ok_or("usage: \\recover FILE (reads FILE and FILE.wal)")?;
+                let image = std::fs::read(path).map_err(|e| e.to_string())?;
+                let wal = std::fs::read(format!("{path}.wal")).map_err(|e| e.to_string())?;
+                self.wh = Warehouse::recover(self.db.catalog(), &image, &wal)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "recovered {} summaries (log replayed; {} batch(es) dead-lettered)",
+                    self.wh.summaries().count(),
+                    self.wh.dead_letters().len()
+                );
             }
             other => return Err(format!("unknown command {other}; try \\help")),
         }

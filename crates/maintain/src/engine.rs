@@ -35,6 +35,7 @@ use md_core::{edge_is_dependency, AuxViewDef, DerivedPlan};
 use md_relation::{Bag, Catalog, Change, Database, Row, TableId, Value};
 
 use crate::error::{MaintainError, Result};
+use crate::fault::FaultPlan;
 use crate::reconstruct::{distinct_value, GroupIndex, ReconExecutor};
 use crate::resolve::{resolve_from, Binding, Resolution};
 use crate::store::AuxStore;
@@ -55,6 +56,38 @@ pub struct MaintStats {
     /// Dimension updates handled by the targeted fast path (per-group
     /// adjustment via the foreign-key index) instead of a full rebuild.
     pub dim_targeted_updates: u64,
+}
+
+/// The result of [`MaintenanceEngine::audit`]: a list of invariant
+/// violations found by cross-checking `V` against `X`. A clean report is
+/// empty.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Human-readable descriptions of every violated invariant.
+    pub findings: Vec<String>,
+}
+
+impl AuditReport {
+    /// `true` when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Per-batch transaction bookkeeping: everything needed to restore the
+/// engine exactly to its pre-batch state on a mid-batch failure. The
+/// auxiliary and summary stores keep their own undo logs; this records
+/// the engine-level state around them.
+struct TxnState {
+    /// Counters at batch start (restored wholesale on rollback).
+    stats: MaintStats,
+    /// First-touched prior values of individual group-index entries
+    /// (`None` = entry was absent). Recorded only while the whole index
+    /// has not been replaced.
+    gi_touched: HashMap<Row, Option<HashMap<Row, i64>>>,
+    /// The whole pre-batch group index, captured when a summary repair
+    /// swaps it out.
+    gi_replaced: Option<GroupIndex>,
 }
 
 /// Storage accounting for one materialized object.
@@ -90,6 +123,13 @@ pub struct MaintenanceEngine {
     /// conservative full-repair path instead of the targeted one.
     targeted_updates: bool,
     stats: MaintStats,
+    /// Highest committed batch LSN per source table. A batch is applied
+    /// exactly once: replay skips any record at or below this mark.
+    applied_lsn: BTreeMap<TableId, u64>,
+    /// In-flight batch transaction, when one is open.
+    txn: Option<TxnState>,
+    /// Fault-injection hooks (disarmed in production).
+    faults: FaultPlan,
 }
 
 impl MaintenanceEngine {
@@ -115,6 +155,9 @@ impl MaintenanceEngine {
             dirty: HashMap::new(),
             targeted_updates: true,
             stats: MaintStats::default(),
+            applied_lsn: BTreeMap::new(),
+            txn: None,
+            faults: FaultPlan::default(),
         })
     }
 
@@ -156,6 +199,33 @@ impl MaintenanceEngine {
         self.targeted_updates = enabled;
     }
 
+    /// Installs the fault-injection plan this engine consults at its
+    /// transaction checkpoints. Testing only; the default plan is free.
+    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The highest committed batch LSN for `table` (0 = none yet).
+    pub fn applied_lsn(&self, table: TableId) -> u64 {
+        self.applied_lsn.get(&table).copied().unwrap_or(0)
+    }
+
+    /// The per-table LSN vector of every committed batch.
+    pub fn lsn_vector(&self) -> &BTreeMap<TableId, u64> {
+        &self.applied_lsn
+    }
+
+    /// Overwrites one table's committed LSN. Used by snapshot restore and
+    /// by the warehouse to align a freshly loaded engine with the batch
+    /// sequence numbers it has already assigned.
+    pub fn set_applied_lsn(&mut self, table: TableId, lsn: u64) {
+        if lsn == 0 {
+            self.applied_lsn.remove(&table);
+        } else {
+            self.applied_lsn.insert(table, lsn);
+        }
+    }
+
     /// Overwrites the counters (snapshot restore).
     pub(crate) fn set_stats(&mut self, stats: MaintStats) {
         self.stats = stats;
@@ -170,16 +240,38 @@ impl MaintenanceEngine {
     ) -> Result<()> {
         let store = self.aux.get_mut(&table).ok_or_else(|| {
             MaintainError::InvariantViolation(format!(
-                "snapshot contains auxiliary data for {table}, which this plan does not                  materialize"
+                "snapshot contains auxiliary data for {table}, \
+                 which this plan does not materialize"
             ))
         })?;
+        // The image is untrusted: a decodable-but-corrupt row with the
+        // wrong arity would later panic on indexed access.
+        if key.arity() != store.group_srcs().len() {
+            return Err(MaintainError::InvariantViolation(format!(
+                "corrupt snapshot: auxiliary group key for {table} has arity {}, \
+                 the plan expects {}",
+                key.arity(),
+                store.group_srcs().len()
+            )));
+        }
         store.install_group(key, state);
         Ok(())
     }
 
     /// Installs one summary group (snapshot restore).
-    pub(crate) fn install_summary_group(&mut self, key: Row, state: GroupState) {
+    pub(crate) fn install_summary_group(&mut self, key: Row, state: GroupState) -> Result<()> {
+        let want_key = self.plan.view.group_by_cols().len();
+        let want_aggs = self.plan.view.aggregates().len();
+        if key.arity() != want_key || state.aggs.len() != want_aggs {
+            return Err(MaintainError::InvariantViolation(format!(
+                "corrupt snapshot: summary group has key arity {} and {} aggregates, \
+                 the view expects {want_key} and {want_aggs}",
+                key.arity(),
+                state.aggs.len()
+            )));
+        }
         self.summary.install_group(key, state);
+        Ok(())
     }
 
     /// Installs one group-index entry (snapshot restore).
@@ -369,36 +461,185 @@ impl MaintenanceEngine {
 
     /// Applies a batch of source changes to one base table, maintaining
     /// `{V} ∪ X` without reading any base table.
+    ///
+    /// All-or-nothing: on any error the engine is rolled back to its
+    /// pre-batch state and the error is reported as
+    /// [`MaintainError::Rejected`] naming the offending change. On success
+    /// the table's committed LSN advances by one.
     pub fn apply(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
+        let lsn = self.applied_lsn(table) + 1;
+        self.apply_prepared(table, changes)?;
+        match self.faults.hit("engine.apply.commit") {
+            Ok(()) => {
+                self.commit_prepared(table, lsn);
+                Ok(())
+            }
+            Err(e) => {
+                self.rollback_prepared();
+                Err(self.reject(table, None, e))
+            }
+        }
+    }
+
+    /// Idempotent replay: applies `changes` as the batch with sequence
+    /// number `lsn`, skipping it (returning `false`) when a batch at or
+    /// past that LSN is already committed. Recovery uses this to replay a
+    /// change-log suffix without double-applying what the snapshot holds.
+    pub fn apply_at(&mut self, table: TableId, changes: &[Change], lsn: u64) -> Result<bool> {
+        if lsn <= self.applied_lsn(table) {
+            return Ok(false);
+        }
+        self.apply_prepared(table, changes)?;
+        self.commit_prepared(table, lsn);
+        Ok(true)
+    }
+
+    /// First phase of a two-phase apply: runs the batch inside an open
+    /// transaction. On success the mutations are in place but uncommitted
+    /// — the caller must follow with [`Self::commit_prepared`] or
+    /// [`Self::rollback_prepared`]. On error the engine has already been
+    /// rolled back. The warehouse uses this to coordinate one batch
+    /// across several engines and the change log.
+    pub fn apply_prepared(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
         // Plans derived under the append-only regime (paper Section 4)
         // dropped the detail data that deletions would need; reject any
         // non-insert change loudly instead of corrupting the summary.
-        if self.plan.regime == md_core::ChangeRegime::AppendOnly
-            && changes.iter().any(|c| !matches!(c, Change::Insert(_)))
-        {
-            return Err(MaintainError::InvariantViolation(format!(
-                "view '{}' was derived under the append-only regime; the source                  violated its insert-only contract",
-                self.plan.view.name
-            )));
+        if self.plan.regime == md_core::ChangeRegime::AppendOnly {
+            if let Some(i) = changes.iter().position(|c| !matches!(c, Change::Insert(_))) {
+                let cause = MaintainError::InvariantViolation(format!(
+                    "view '{}' was derived under the append-only regime; \
+                     the source violated its insert-only contract",
+                    self.plan.view.name
+                ));
+                return Err(self.reject(table, Some(i), cause));
+            }
         }
-        if table == self.plan.graph.root() {
-            self.apply_root_changes(changes)?;
-        } else {
-            self.apply_dim_changes(table, changes)?;
+        self.begin_txn();
+        let result = self.faults.hit("engine.apply.begin").and_then(|()| {
+            if table == self.plan.graph.root() {
+                self.apply_root_changes(table, changes)
+            } else {
+                self.apply_dim_changes(table, changes)
+            }
+        });
+        if let Err(e) = result {
+            self.rollback_txn();
+            return Err(self.reject(table, None, e));
         }
         Ok(())
     }
 
-    fn apply_root_changes(&mut self, changes: &[Change]) -> Result<()> {
-        for change in changes {
-            let (del, ins) = change.as_delete_insert();
-            if let Some(row) = del {
-                self.process_root_row(row, -1)?;
-            }
-            if let Some(row) = ins {
-                self.process_root_row(row, 1)?;
+    /// Second phase of a two-phase apply: keeps the prepared batch and
+    /// records it as committed under `lsn`.
+    pub fn commit_prepared(&mut self, table: TableId, lsn: u64) {
+        for store in self.aux.values_mut() {
+            store.commit_undo();
+        }
+        self.summary.commit_undo();
+        self.txn = None;
+        self.set_applied_lsn(table, lsn.max(self.applied_lsn(table)));
+    }
+
+    /// Second phase of a two-phase apply: undoes the prepared batch,
+    /// restoring the engine to its pre-batch state.
+    pub fn rollback_prepared(&mut self) {
+        self.rollback_txn();
+    }
+
+    fn begin_txn(&mut self) {
+        for store in self.aux.values_mut() {
+            store.begin_undo();
+        }
+        self.summary.begin_undo();
+        self.txn = Some(TxnState {
+            stats: self.stats,
+            gi_touched: HashMap::new(),
+            gi_replaced: None,
+        });
+    }
+
+    fn rollback_txn(&mut self) {
+        let Some(txn) = self.txn.take() else {
+            return;
+        };
+        for store in self.aux.values_mut() {
+            store.rollback_undo();
+        }
+        self.summary.rollback_undo();
+        // The group index either had individual entries touched (root
+        // batches) or was swapped wholesale by a repair (dimension
+        // batches); restore whichever happened.
+        let mut gi = match txn.gi_replaced {
+            Some(gi) => gi,
+            None => std::mem::take(&mut self.group_index),
+        };
+        for (vgroup, prior) in txn.gi_touched {
+            match prior {
+                Some(entries) => {
+                    gi.insert(vgroup, entries);
+                }
+                None => {
+                    gi.remove(&vgroup);
+                }
             }
         }
+        self.group_index = gi;
+        self.stats = txn.stats;
+        self.dirty.clear();
+        // Repairs and root folds may have moved the fk index; rebuilding
+        // from the restored root store is always correct.
+        self.rebuild_fk_index();
+    }
+
+    /// Records `vgroup`'s current group-index entry in the open
+    /// transaction (first touch wins) before a mutation.
+    fn note_gi(&mut self, vgroup: &Row) {
+        if let Some(txn) = &mut self.txn {
+            if txn.gi_replaced.is_none() && !txn.gi_touched.contains_key(vgroup) {
+                txn.gi_touched
+                    .insert(vgroup.clone(), self.group_index.get(vgroup).cloned());
+            }
+        }
+    }
+
+    /// Wraps `cause` as a batch rejection, unless it already is one.
+    fn reject(
+        &self,
+        table: TableId,
+        change_index: Option<usize>,
+        cause: MaintainError,
+    ) -> MaintainError {
+        if matches!(cause, MaintainError::Rejected { .. }) {
+            return cause;
+        }
+        let table = self
+            .catalog
+            .def(table)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|_| table.to_string());
+        MaintainError::Rejected {
+            table,
+            change_index,
+            reason: Box::new(cause),
+        }
+    }
+
+    fn apply_root_changes(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
+        for (i, change) in changes.iter().enumerate() {
+            let applied = (|| -> Result<()> {
+                self.faults.hit("engine.apply.change")?;
+                let (del, ins) = change.as_delete_insert();
+                if let Some(row) = del {
+                    self.process_root_row(row, -1)?;
+                }
+                if let Some(row) = ins {
+                    self.process_root_row(row, 1)?;
+                }
+                Ok(())
+            })();
+            applied.map_err(|e| self.reject(table, Some(i), e))?;
+        }
+        self.faults.hit("engine.apply.flush")?;
         self.flush_dirty_groups()?;
         Ok(())
     }
@@ -484,6 +725,7 @@ impl MaintenanceEngine {
 
             // Maintain the group index (root materialized only).
             if let Some(root_key) = root_key {
+                self.note_gi(&vgroup);
                 let entry = self.group_index.entry(vgroup.clone()).or_default();
                 let slot = entry.entry(root_key).or_insert(0);
                 *slot += sign;
@@ -500,6 +742,7 @@ impl MaintenanceEngine {
             }
 
             if outcome.removed {
+                self.note_gi(&vgroup);
                 self.group_index.remove(&vgroup);
                 self.dirty.remove(&vgroup);
             } else if !outcome.stale_aggs.is_empty() {
@@ -855,11 +1098,32 @@ impl MaintenanceEngine {
         let is_dependency = *self.dependency_edge.get(&table).unwrap_or(&false);
         let mut needs_repair = false;
 
-        for change in changes {
+        for (i, change) in changes.iter().enumerate() {
+            self.apply_one_dim_change(table, change, &def, is_dependency, &mut needs_repair)
+                .map_err(|e| self.reject(table, Some(i), e))?;
+        }
+
+        if needs_repair {
+            self.faults.hit("engine.apply.flush")?;
+            self.repair_summary()?;
+        }
+        Ok(())
+    }
+
+    fn apply_one_dim_change(
+        &mut self,
+        table: TableId,
+        change: &Change,
+        def: &AuxViewDef,
+        is_dependency: bool,
+        needs_repair: &mut bool,
+    ) -> Result<()> {
+        self.faults.hit("engine.apply.change")?;
+        {
             self.stats.rows_processed += 1;
             match change {
                 Change::Insert(row) => {
-                    if self.row_passes_locals(&def, row)? && self.row_passes_semijoins(&def, row) {
+                    if self.row_passes_locals(def, row)? && self.row_passes_semijoins(def, row) {
                         self.aux
                             .get_mut(&table)
                             .expect("store exists")
@@ -868,11 +1132,11 @@ impl MaintenanceEngine {
                     if is_dependency {
                         self.stats.dim_noop_changes += 1;
                     } else {
-                        needs_repair = true;
+                        *needs_repair = true;
                     }
                 }
                 Change::Delete(row) => {
-                    if self.row_passes_locals(&def, row)? && self.row_passes_semijoins(&def, row) {
+                    if self.row_passes_locals(def, row)? && self.row_passes_semijoins(def, row) {
                         self.aux
                             .get_mut(&table)
                             .expect("store exists")
@@ -881,14 +1145,14 @@ impl MaintenanceEngine {
                     if is_dependency {
                         self.stats.dim_noop_changes += 1;
                     } else {
-                        needs_repair = true;
+                        *needs_repair = true;
                     }
                 }
                 Change::Update { old, new } => {
                     let old_in =
-                        self.row_passes_locals(&def, old)? && self.row_passes_semijoins(&def, old);
+                        self.row_passes_locals(def, old)? && self.row_passes_semijoins(def, old);
                     let new_in =
-                        self.row_passes_locals(&def, new)? && self.row_passes_semijoins(&def, new);
+                        self.row_passes_locals(def, new)? && self.row_passes_semijoins(def, new);
                     let store = self.aux.get_mut(&table).expect("store exists");
                     match (old_in, new_in) {
                         (true, true) => store.apply_source_update(old, new)?,
@@ -907,14 +1171,10 @@ impl MaintenanceEngine {
                     if old == new {
                         self.stats.dim_noop_changes += 1;
                     } else if !self.try_targeted_dim_update(table, old, new)? {
-                        needs_repair = true;
+                        *needs_repair = true;
                     }
                 }
             }
-        }
-
-        if needs_repair {
-            self.repair_summary()?;
         }
         Ok(())
     }
@@ -928,7 +1188,14 @@ impl MaintenanceEngine {
                 let exec = ReconExecutor::new(&self.plan, &self.catalog, &self.aux)?;
                 exec.rebuild(&mut self.summary)?
             };
-            self.group_index = index;
+            let old = std::mem::replace(&mut self.group_index, index);
+            if let Some(txn) = &mut self.txn {
+                // Keep only the first swapped-out image: that is the
+                // pre-batch one a rollback must restore.
+                if txn.gi_replaced.is_none() {
+                    txn.gi_replaced = Some(old);
+                }
+            }
             self.rebuild_fk_index();
             Ok(())
         } else {
@@ -1020,6 +1287,108 @@ impl MaintenanceEngine {
     // ------------------------------------------------------------------
     // Verification
     // ------------------------------------------------------------------
+
+    /// Source-free integrity audit: recomputes `V` from `X` and
+    /// cross-checks the group index's reference counts and the summary's
+    /// hidden counts. Unlike [`Self::verify_against`], this never touches
+    /// base tables, so a live warehouse can run it at any time. Returns
+    /// the violations found (an empty report means the engine's
+    /// invariants all hold).
+    pub fn audit(&self) -> AuditReport {
+        let mut findings = Vec::new();
+        if self.plan.reconstruction.is_some() {
+            // V must equal its reconstruction from X (CSMAS sums, counts
+            // and recomputed non-CSMAS values alike).
+            let mut fresh = SummaryStore::new(&self.plan.view);
+            let rebuilt = ReconExecutor::new(&self.plan, &self.catalog, &self.aux)
+                .and_then(|exec| exec.rebuild(&mut fresh));
+            match rebuilt {
+                Err(e) => findings.push(format!("summary rebuild from X failed: {e}")),
+                Ok(_) => match (self.summary.to_bag_unfiltered(), fresh.to_bag_unfiltered()) {
+                    (Ok(actual), Ok(expected)) => {
+                        if actual != expected {
+                            findings.push(
+                                "summary diverges from its reconstruction from the \
+                                 auxiliary views"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                    (Err(e), _) => findings.push(format!("maintained summary unreadable: {e}")),
+                    (_, Err(e)) => findings.push(format!("rebuilt summary unreadable: {e}")),
+                },
+            }
+            // Group-index refcounts: per group they sum to the hidden
+            // count, and each referenced root auxiliary tuple exists with
+            // a matching duplicate count.
+            let root_store = self.aux.get(&self.plan.graph.root());
+            for (vgroup, entries) in self.group_index.iter() {
+                let Some(state) = self.summary.group(vgroup) else {
+                    findings.push(format!("group index lists unknown summary group {vgroup}"));
+                    continue;
+                };
+                let total: i64 = entries.values().sum();
+                if total != state.hidden_cnt as i64 {
+                    findings.push(format!(
+                        "group {vgroup}: index refcounts sum to {total} but the summary \
+                         hidden count is {}",
+                        state.hidden_cnt
+                    ));
+                }
+                if let Some(store) = root_store {
+                    for (key, &rc) in entries {
+                        match store.get(key) {
+                            None => findings.push(format!(
+                                "group {vgroup}: index references absent root auxiliary \
+                                 group {key}"
+                            )),
+                            Some(s) if s.cnt as i64 != rc => findings.push(format!(
+                                "group {vgroup}: root group {key} refcount {rc} does not \
+                                 match its stored count {}",
+                                s.cnt
+                            )),
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+            for (vgroup, _) in self.summary.iter() {
+                if !self.group_index.contains_key(vgroup) {
+                    findings.push(format!(
+                        "summary group {vgroup} missing from the group index"
+                    ));
+                }
+            }
+        } else {
+            // Root omitted: the group key must still determine its
+            // dimension chain, and the stored key values must agree with
+            // the dimension stores.
+            let root = self.plan.graph.root();
+            let group_cols = self.plan.view.group_by_cols();
+            for (key, _) in self.summary.iter() {
+                match self.resolve_group_dims(key) {
+                    Err(e) => {
+                        findings.push(format!("group {key}: dimension chain unresolvable: {e}"))
+                    }
+                    Ok(res) => {
+                        for (i, col) in group_cols.iter().enumerate() {
+                            if col.table == root {
+                                continue;
+                            }
+                            if res.value(*col) != Some(&key[i]) {
+                                findings.push(format!(
+                                    "group {key}: stored attribute {} disagrees with the \
+                                     dimension stores",
+                                    col.display(&self.catalog)
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        AuditReport { findings }
+    }
 
     /// Oracle check: compares the maintained summary against a fresh
     /// recomputation from the base tables. Intended for tests and

@@ -29,6 +29,24 @@ pub enum MaintainError {
         /// The operation that was attempted.
         operation: String,
     },
+    /// A change batch was rejected before taking effect: the engine has
+    /// been rolled back to its pre-batch state and serving continues.
+    Rejected {
+        /// The table the batch targeted.
+        table: String,
+        /// Index of the offending change within the batch, when the
+        /// failure is attributable to a single change (`None` for
+        /// failures during group recomputation or commit).
+        change_index: Option<usize>,
+        /// The underlying error that caused the rejection.
+        reason: Box<MaintainError>,
+    },
+    /// A failure injected by a [`fault::FaultPlan`](crate::fault::FaultPlan)
+    /// during testing; never produced in normal operation.
+    Injected {
+        /// The injection point that fired.
+        point: String,
+    },
     /// Error bubbled up from the derivation layer.
     Core(CoreError),
     /// Error bubbled up from the algebra layer.
@@ -53,6 +71,20 @@ impl fmt::Display for MaintainError {
                      view, which was eliminated by Algorithm 3.2"
                 )
             }
+            MaintainError::Rejected {
+                table,
+                change_index,
+                reason,
+            } => {
+                write!(f, "batch for table '{table}' rejected")?;
+                if let Some(i) = change_index {
+                    write!(f, " at change #{i}")?;
+                }
+                write!(f, " (engine rolled back): {reason}")
+            }
+            MaintainError::Injected { point } => {
+                write!(f, "injected fault at '{point}'")
+            }
             MaintainError::Core(e) => write!(f, "{e}"),
             MaintainError::Algebra(e) => write!(f, "{e}"),
             MaintainError::Relation(e) => write!(f, "{e}"),
@@ -63,6 +95,7 @@ impl fmt::Display for MaintainError {
 impl std::error::Error for MaintainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            MaintainError::Rejected { reason, .. } => Some(reason.as_ref()),
             MaintainError::Core(e) => Some(e),
             MaintainError::Algebra(e) => Some(e),
             MaintainError::Relation(e) => Some(e),
@@ -112,5 +145,29 @@ mod tests {
             operation: "reconstruct".into(),
         };
         assert!(e.to_string().contains("Algorithm 3.2"));
+    }
+
+    #[test]
+    fn rejected_preserves_reason_text() {
+        let e = MaintainError::Rejected {
+            table: "sales".into(),
+            change_index: Some(3),
+            reason: Box::new(MaintainError::InvariantViolation(
+                "append-only regime forbids deletes".into(),
+            )),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("sales"));
+        assert!(msg.contains("change #3"));
+        assert!(msg.contains("append-only"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn injected_names_its_point() {
+        let e = MaintainError::Injected {
+            point: "engine.apply.flush".into(),
+        };
+        assert!(e.to_string().contains("engine.apply.flush"));
     }
 }

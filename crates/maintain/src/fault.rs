@@ -1,0 +1,186 @@
+//! Fault injection for crash-safety testing.
+//!
+//! A [`FaultPlan`] is a cheap, cloneable handle that maintenance code
+//! threads through its commit paths. Production code constructs the
+//! default (disarmed) plan, in which every [`FaultPlan::hit`] is a no-op;
+//! tests arm a named injection point so that the nth time execution
+//! reaches it, a [`MaintainError::Injected`] is returned — simulating a
+//! crash at exactly that moment. The surrounding transaction machinery
+//! must then roll back (or leave a recoverable torn state), which the
+//! fault-injection tests verify against a recompute-from-scratch oracle.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::error::{MaintainError, Result};
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Armed points: `(point, remaining_passes)`. When a `hit` on `point`
+    /// finds `remaining_passes == 0` the fault fires; otherwise the
+    /// counter decrements and execution proceeds.
+    armed: Vec<(String, u64)>,
+    /// Every point name that `hit` has been called with, in order —
+    /// lets tests enumerate the injection points a scenario traverses.
+    seen: Vec<String>,
+}
+
+/// A shared, optionally-armed fault plan.
+///
+/// The default plan carries no state at all (`None` inside), so the hot
+/// path in production pays only an `Option` check per injection point.
+#[derive(Clone, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "FaultPlan(disarmed)"),
+            Some(i) => {
+                let inner = i.lock().expect("fault plan poisoned");
+                write!(f, "FaultPlan(armed: {:?})", inner.armed)
+            }
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that records traversed points and can be armed.
+    pub fn recording() -> Self {
+        FaultPlan {
+            inner: Some(Arc::new(Mutex::new(Inner::default()))),
+        }
+    }
+
+    /// Arms `point` so that the `nth` traversal (0-based) fails with
+    /// [`MaintainError::Injected`]. Arming the same point again queues an
+    /// additional firing.
+    pub fn arm(&mut self, point: &str, nth: u64) {
+        let inner = self
+            .inner
+            .get_or_insert_with(|| Arc::new(Mutex::new(Inner::default())));
+        inner
+            .lock()
+            .expect("fault plan poisoned")
+            .armed
+            .push((point.to_string(), nth));
+    }
+
+    /// An injection point. Returns `Err(MaintainError::Injected)` if the
+    /// point is armed and its countdown has elapsed; records the traversal
+    /// and returns `Ok(())` otherwise.
+    pub fn hit(&self, point: &str) -> Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let mut inner = inner.lock().expect("fault plan poisoned");
+        inner.seen.push(point.to_string());
+        let Some(pos) = inner.armed.iter().position(|(p, _)| p == point) else {
+            return Ok(());
+        };
+        if inner.armed[pos].1 == 0 {
+            inner.armed.remove(pos);
+            return Err(MaintainError::Injected {
+                point: point.to_string(),
+            });
+        }
+        inner.armed[pos].1 -= 1;
+        Ok(())
+    }
+
+    /// Whether `point` fires (returns an error) on its next traversal.
+    pub fn is_armed(&self, point: &str) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => inner
+                .lock()
+                .expect("fault plan poisoned")
+                .armed
+                .iter()
+                .any(|(p, _)| p == point),
+        }
+    }
+
+    /// The distinct point names traversed so far, in first-seen order.
+    /// Empty for a plan that was never armed or created via `recording`.
+    pub fn points_seen(&self) -> Vec<String> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let inner = inner.lock().expect("fault plan poisoned");
+        let mut out: Vec<String> = Vec::new();
+        for p in &inner.seen {
+            if !out.contains(p) {
+                out.push(p.clone());
+            }
+        }
+        out
+    }
+
+    /// Forgets recorded traversals (armed points are kept).
+    pub fn clear_seen(&self) {
+        if let Some(inner) = &self.inner {
+            inner.lock().expect("fault plan poisoned").seen.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_a_no_op() {
+        let plan = FaultPlan::default();
+        for _ in 0..10 {
+            assert!(plan.hit("anything").is_ok());
+        }
+        assert!(plan.points_seen().is_empty());
+        assert!(!plan.is_armed("anything"));
+    }
+
+    #[test]
+    fn armed_point_fires_on_nth_traversal() {
+        let mut plan = FaultPlan::default();
+        plan.arm("commit", 2);
+        assert!(plan.hit("commit").is_ok());
+        assert!(plan.hit("other").is_ok());
+        assert!(plan.hit("commit").is_ok());
+        let err = plan.hit("commit").unwrap_err();
+        assert_eq!(
+            err,
+            MaintainError::Injected {
+                point: "commit".into()
+            }
+        );
+        // Fires once, then disarms.
+        assert!(plan.hit("commit").is_ok());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let mut plan = FaultPlan::recording();
+        let observer = plan.clone();
+        plan.arm("x", 0);
+        assert!(observer.is_armed("x"));
+        assert!(observer.hit("x").is_err());
+        assert!(!plan.is_armed("x"));
+        assert_eq!(plan.points_seen(), vec!["x".to_string()]);
+        plan.clear_seen();
+        assert!(plan.points_seen().is_empty());
+    }
+
+    #[test]
+    fn seen_points_dedupe_in_order() {
+        let plan = FaultPlan::recording();
+        for p in ["a", "b", "a", "c", "b"] {
+            plan.hit(p).unwrap();
+        }
+        assert_eq!(
+            plan.points_seen(),
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+    }
+}

@@ -24,21 +24,25 @@
 
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod psj;
 pub mod reconstruct;
 pub mod resolve;
 pub mod snapshot;
 pub mod store;
 pub mod summary;
+pub mod wal;
 
-pub use engine::{MaintStats, MaintenanceEngine, StorageLine};
+pub use engine::{AuditReport, MaintStats, MaintenanceEngine, StorageLine};
 pub use error::{MaintainError, Result};
+pub use fault::FaultPlan;
 pub use psj::{derive_psj, load_psj_stores, psj_totals};
 pub use reconstruct::{GroupIndex, ReconExecutor};
 pub use resolve::{resolve_from, Binding, Resolution};
 pub use snapshot::{plan_fingerprint, ENGINE_MAGIC, SNAPSHOT_VERSION};
 pub use store::{AuxGroupState, AuxStore, GroupEffect};
 pub use summary::{AggState, ApplyOutcome, GroupState, SummaryStore};
+pub use wal::{Wal, WalRecord};
 
 use md_algebra::{eval_view, GpsjView};
 use md_relation::{Bag, Database};

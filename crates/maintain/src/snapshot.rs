@@ -22,8 +22,9 @@ use crate::summary::{AggState, GroupState};
 
 /// Magic bytes opening every engine snapshot.
 pub const ENGINE_MAGIC: &[u8; 4] = b"MDWE";
-/// Snapshot format version.
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// Snapshot format version. v2 added the per-table committed-LSN vector
+/// that recovery compares against the change log.
+pub const SNAPSHOT_VERSION: u8 = 2;
 
 /// A stable fingerprint of a derived plan, used to reject snapshots taken
 /// under a different view definition, contracts or catalog.
@@ -60,13 +61,27 @@ impl MaintenanceEngine {
         e.put_u64(stats.dim_noop_changes);
         e.put_u64(stats.dim_targeted_updates);
 
+        // Committed-LSN vector: the batches this image already contains.
+        // Recovery replays only change-log records past these marks.
+        let lsns = self.lsn_vector();
+        e.put_u32(lsns.len() as u32);
+        for (table, lsn) in lsns {
+            e.put_u32(table.0 as u32);
+            e.put_u64(*lsn);
+        }
+
         // Auxiliary stores, ordered by table id (BTreeMap iteration).
+        // Group keys are sorted so the image is *canonical*: the same
+        // logical state always serializes to the same bytes, regardless
+        // of hash-map history — equal states compare byte-equal.
         let stores: Vec<_> = self.aux_stores().collect();
         e.put_u32(stores.len() as u32);
         for store in stores {
             e.put_u32(store.def().table.0 as u32);
             e.put_u32(store.len() as u32);
-            for (key, state) in store.iter() {
+            let mut groups: Vec<_> = store.iter().collect();
+            groups.sort_by(|a, b| a.0.cmp(b.0));
+            for (key, state) in groups {
                 e.put_row(key);
                 e.put_u32(state.sums.len() as u32);
                 for v in &state.sums {
@@ -76,9 +91,11 @@ impl MaintenanceEngine {
             }
         }
 
-        // Summary groups.
+        // Summary groups, in key order (canonical, as above).
         e.put_u32(self.summary().len() as u32);
-        for (key, state) in self.summary().iter() {
+        let mut summary_groups: Vec<_> = self.summary().iter().collect();
+        summary_groups.sort_by(|a, b| a.0.cmp(b.0));
+        for (key, state) in summary_groups {
             e.put_row(key);
             e.put_u64(state.hidden_cnt);
             e.put_u32(state.aggs.len() as u32);
@@ -87,13 +104,17 @@ impl MaintenanceEngine {
             }
         }
 
-        // Group index.
+        // Group index, in key order (canonical, as above).
         let index = self.group_index_for_snapshot();
         e.put_u32(index.len() as u32);
-        for (vgroup, entries) in index {
+        let mut vgroups: Vec<_> = index.iter().collect();
+        vgroups.sort_by(|a, b| a.0.cmp(b.0));
+        for (vgroup, entries) in vgroups {
             e.put_row(vgroup);
             e.put_u32(entries.len() as u32);
-            for (root_key, refcount) in entries {
+            let mut sorted: Vec<_> = entries.iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(b.0));
+            for (root_key, refcount) in sorted {
                 e.put_row(root_key);
                 e.put_i64(*refcount);
             }
@@ -143,6 +164,13 @@ impl MaintenanceEngine {
         };
         engine.set_stats(stats);
 
+        let n_lsns = d.take_u32().map_err(MaintainError::from)?;
+        for _ in 0..n_lsns {
+            let table = TableId(d.take_u32().map_err(MaintainError::from)? as usize);
+            let lsn = d.take_u64().map_err(MaintainError::from)?;
+            engine.set_applied_lsn(table, lsn);
+        }
+
         let n_stores = d.take_u32().map_err(MaintainError::from)?;
         for _ in 0..n_stores {
             let table = TableId(d.take_u32().map_err(MaintainError::from)? as usize);
@@ -170,7 +198,7 @@ impl MaintenanceEngine {
             for _ in 0..n_aggs {
                 aggs.push(decode_agg_state(&mut d)?);
             }
-            engine.install_summary_group(key, GroupState { aggs, hidden_cnt });
+            engine.install_summary_group(key, GroupState { aggs, hidden_cnt })?;
         }
 
         let n_index = d.take_u32().map_err(MaintainError::from)?;

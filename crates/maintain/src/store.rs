@@ -55,6 +55,11 @@ pub struct AuxStore {
     groups: HashMap<Row, AuxGroupState>,
     /// key value → group key, present iff `key_pos` is.
     key_index: HashMap<Value, Row>,
+    /// Undo log of the transaction in progress, when one is open: the
+    /// prior state of every group first touched since [`Self::begin_undo`]
+    /// (`None` = the group did not exist). First touch wins, so rollback
+    /// restores exactly the pre-transaction image.
+    undo: Option<HashMap<Row, Option<AuxGroupState>>>,
 }
 
 impl AuxStore {
@@ -71,7 +76,59 @@ impl AuxStore {
             key_pos,
             groups: HashMap::new(),
             key_index: HashMap::new(),
+            undo: None,
         })
+    }
+
+    /// Opens an undo scope: every group mutation until
+    /// [`Self::commit_undo`] or [`Self::rollback_undo`] records the
+    /// group's prior state so the store can be restored exactly.
+    pub(crate) fn begin_undo(&mut self) {
+        self.undo = Some(HashMap::new());
+    }
+
+    /// Closes the undo scope, keeping all mutations.
+    pub(crate) fn commit_undo(&mut self) {
+        self.undo = None;
+    }
+
+    /// Closes the undo scope, restoring every touched group (and the key
+    /// index) to its pre-transaction state. No-op without an open scope.
+    pub(crate) fn rollback_undo(&mut self) {
+        let Some(undo) = self.undo.take() else {
+            return;
+        };
+        // Removals first: a transaction may have replaced group (k, a)
+        // with (k, b) for the same key value k, and the key-index entry
+        // for k must end up pointing at the restored group.
+        for (key, prior) in &undo {
+            if prior.is_none() {
+                self.groups.remove(key);
+                if let Some(kp) = self.key_pos {
+                    if self.key_index.get(&key[kp]) == Some(key) {
+                        self.key_index.remove(&key[kp]);
+                    }
+                }
+            }
+        }
+        for (key, prior) in undo {
+            if let Some(state) = prior {
+                if let Some(kp) = self.key_pos {
+                    self.key_index.insert(key[kp].clone(), key.clone());
+                }
+                self.groups.insert(key, state);
+            }
+        }
+    }
+
+    /// Records `key`'s current state in the open undo scope (first touch
+    /// wins). Must be called before any mutation of the group.
+    fn note_undo(&mut self, key: &Row) {
+        if let Some(undo) = &mut self.undo {
+            if !undo.contains_key(key) {
+                undo.insert(key.clone(), self.groups.get(key).cloned());
+            }
+        }
     }
 
     /// The definition this store materializes.
@@ -105,6 +162,7 @@ impl AuxStore {
     /// compressed representation.
     pub fn apply_source_row(&mut self, source_row: &Row, sign: i64) -> Result<GroupEffect> {
         let key = self.group_key_of(source_row);
+        self.note_undo(&key);
         match sign {
             1 => {
                 let is_new = !self.groups.contains_key(&key);
@@ -180,6 +238,7 @@ impl AuxStore {
     /// Installs a fully-formed group (snapshot restore). Replaces any
     /// existing group with the same key and maintains the key index.
     pub fn install_group(&mut self, group_key: Row, state: AuxGroupState) {
+        self.note_undo(&group_key);
         if let Some(kp) = self.key_pos {
             self.key_index
                 .insert(group_key[kp].clone(), group_key.clone());
@@ -445,6 +504,56 @@ mod tests {
                 row![2, 2, 20.0, 2],
             ]
         );
+    }
+
+    #[test]
+    fn rollback_restores_groups_and_key_index() {
+        let (_, mut store) = sale_fixture();
+        store.apply_source_row(&row![100, 1, 10, 5.0], 1).unwrap();
+        let before = store.materialized_rows();
+
+        store.begin_undo();
+        store.apply_source_row(&row![101, 1, 10, 7.0], 1).unwrap(); // update
+        store.apply_source_row(&row![102, 2, 11, 3.0], 1).unwrap(); // create
+        store.apply_source_row(&row![100, 1, 10, 5.0], -1).unwrap();
+        store.rollback_undo();
+        assert_eq!(store.materialized_rows(), before);
+
+        // Commit keeps the mutations.
+        store.begin_undo();
+        store.apply_source_row(&row![103, 3, 12, 1.0], 1).unwrap();
+        store.commit_undo();
+        assert!(store.get(&row![3, 12]).is_some());
+    }
+
+    #[test]
+    fn rollback_repairs_key_index_after_group_swap() {
+        let (_, mut store) = dim_fixture();
+        store.apply_source_row(&row![7, "acme"], 1).unwrap();
+        store.begin_undo();
+        // Same key value migrates to a different group within the txn.
+        store
+            .apply_source_update(&row![7, "acme"], &row![7, "mega"])
+            .unwrap();
+        assert_eq!(
+            store.lookup_by_key(&Value::Int(7)).unwrap().0,
+            &row![7, "mega"]
+        );
+        store.rollback_undo();
+        assert_eq!(
+            store.lookup_by_key(&Value::Int(7)).unwrap().0,
+            &row![7, "acme"]
+        );
+        assert!(store.get(&row![7, "mega"]).is_none());
+    }
+
+    #[test]
+    fn rollback_without_scope_is_noop() {
+        let (_, mut store) = sale_fixture();
+        store.apply_source_row(&row![100, 1, 10, 5.0], 1).unwrap();
+        let before = store.materialized_rows();
+        store.rollback_undo();
+        assert_eq!(store.materialized_rows(), before);
     }
 
     #[test]

@@ -82,6 +82,10 @@ pub struct SummaryStore {
     /// only suppressed at read time.
     having: Vec<HavingCond>,
     groups: HashMap<Row, GroupState>,
+    /// Undo log of the transaction in progress, when one is open: the
+    /// prior state of every group first touched since [`Self::begin_undo`]
+    /// (`None` = the group did not exist). First touch wins.
+    undo: Option<HashMap<Row, Option<GroupState>>>,
 }
 
 impl SummaryStore {
@@ -92,6 +96,47 @@ impl SummaryStore {
             aggs: view.aggregates().into_iter().copied().collect(),
             having: view.having.clone(),
             groups: HashMap::new(),
+            undo: None,
+        }
+    }
+
+    /// Opens an undo scope: every group mutation until
+    /// [`Self::commit_undo`] or [`Self::rollback_undo`] records the
+    /// group's prior state so the store can be restored exactly.
+    pub(crate) fn begin_undo(&mut self) {
+        self.undo = Some(HashMap::new());
+    }
+
+    /// Closes the undo scope, keeping all mutations.
+    pub(crate) fn commit_undo(&mut self) {
+        self.undo = None;
+    }
+
+    /// Closes the undo scope, restoring every touched group to its
+    /// pre-transaction state. No-op without an open scope.
+    pub(crate) fn rollback_undo(&mut self) {
+        let Some(undo) = self.undo.take() else {
+            return;
+        };
+        for (key, prior) in undo {
+            match prior {
+                Some(state) => {
+                    self.groups.insert(key, state);
+                }
+                None => {
+                    self.groups.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Records `key`'s current state in the open undo scope (first touch
+    /// wins). Must be called before any mutation of the group.
+    fn note_undo(&mut self, key: &Row) {
+        if let Some(undo) = &mut self.undo {
+            if !undo.contains_key(key) {
+                undo.insert(key.clone(), self.groups.get(key).cloned());
+            }
         }
     }
 
@@ -130,6 +175,7 @@ impl SummaryStore {
                 args.len()
             )));
         }
+        self.note_undo(&key);
         let state = match self.groups.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -192,6 +238,7 @@ impl SummaryStore {
 
     /// Applies one deleted joined tuple to group `key`.
     pub fn apply_delete(&mut self, key: &Row, args: &[Option<Value>]) -> Result<ApplyOutcome> {
+        self.note_undo(key);
         let Some(state) = self.groups.get_mut(key) else {
             return Err(MaintainError::InvariantViolation(format!(
                 "delete against absent summary group {key}"
@@ -250,6 +297,7 @@ impl SummaryStore {
     /// targeted dimension-update fast path, where every base row of a
     /// group moved by the same amount.
     pub fn shift_csmas(&mut self, key: &Row, agg_idx: usize, shift: &Value) -> Result<()> {
+        self.note_undo(key);
         let state = self.groups.get_mut(key).ok_or_else(|| {
             MaintainError::InvariantViolation(format!("shift against absent summary group {key}"))
         })?;
@@ -272,6 +320,7 @@ impl SummaryStore {
     /// Overwrites the value of aggregate item `agg_idx` in `key`'s group
     /// after a recomputation from the auxiliary views, clearing staleness.
     pub fn set_recomputed(&mut self, key: &Row, agg_idx: usize, value: Value) -> Result<()> {
+        self.note_undo(key);
         let state = self.groups.get_mut(key).ok_or_else(|| {
             MaintainError::InvariantViolation(format!(
                 "recompute against absent summary group {key}"
@@ -299,11 +348,18 @@ impl SummaryStore {
 
     /// Installs a fully-computed group (used by rebuilds).
     pub fn install_group(&mut self, key: Row, state: GroupState) {
+        self.note_undo(&key);
         self.groups.insert(key, state);
     }
 
     /// Removes every group (used by rebuilds).
     pub fn clear(&mut self) {
+        if self.undo.is_some() {
+            let keys: Vec<Row> = self.groups.keys().cloned().collect();
+            for key in keys {
+                self.note_undo(&key);
+            }
+        }
         self.groups.clear();
     }
 
@@ -539,6 +595,54 @@ mod tests {
         assert_eq!(out.stale_aggs, vec![0]);
         s.set_recomputed(&row![1], 0, Value::Int(1)).unwrap();
         assert_eq!(s.to_bag().unwrap().count(&row![1, 1]), 1);
+    }
+
+    #[test]
+    fn rollback_restores_groups() {
+        let mut s = SummaryStore::new(&view());
+        s.apply_insert(row![1], &args(5.0)).unwrap();
+        let before = s.to_bag().unwrap();
+
+        s.begin_undo();
+        s.apply_insert(row![1], &args(7.0)).unwrap(); // mutate existing
+        s.apply_insert(row![2], &args(3.0)).unwrap(); // create
+        s.apply_delete(&row![1], &args(5.0)).unwrap();
+        s.rollback_undo();
+        assert_eq!(s.to_bag().unwrap(), before);
+        assert_eq!(s.len(), 1);
+
+        s.begin_undo();
+        s.apply_insert(row![3], &args(1.0)).unwrap();
+        s.commit_undo();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn rollback_survives_clear_and_rebuild() {
+        let mut s = SummaryStore::new(&view());
+        s.apply_insert(row![1], &args(5.0)).unwrap();
+        s.apply_insert(row![2], &args(3.0)).unwrap();
+        let before = s.to_bag().unwrap();
+
+        s.begin_undo();
+        s.clear();
+        s.install_group(
+            row![9],
+            GroupState {
+                aggs: vec![
+                    AggState::Count,
+                    AggState::Sum(Value::Double(1.0)),
+                    AggState::MinMax {
+                        func: AggFunc::Max,
+                        value: Value::Double(1.0),
+                        stale: false,
+                    },
+                ],
+                hidden_cnt: 1,
+            },
+        );
+        s.rollback_undo();
+        assert_eq!(s.to_bag().unwrap(), before);
     }
 
     #[test]

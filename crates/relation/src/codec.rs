@@ -8,9 +8,43 @@
 //! the engine's bitwise value semantics), and length-prefixed UTF-8
 //! strings.
 
+use crate::delta::Change;
 use crate::error::{RelationError, Result};
 use crate::row::Row;
 use crate::value::Value;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) lookup table, built at
+/// compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 checksum (IEEE, as used by zlib/Ethernet) of `bytes`.
+/// Guards the change-log frames in `md-maintain` against torn or
+/// bit-flipped writes.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
 
 /// Serializes primitives into a growable byte buffer.
 #[derive(Debug, Default)]
@@ -98,6 +132,25 @@ impl Encoder {
         self.put_u32(row.arity() as u32);
         for v in row.values() {
             self.put_value(v);
+        }
+    }
+
+    /// Appends a tagged [`Change`].
+    pub fn put_change(&mut self, change: &Change) {
+        match change {
+            Change::Insert(row) => {
+                self.put_u8(0);
+                self.put_row(row);
+            }
+            Change::Delete(row) => {
+                self.put_u8(1);
+                self.put_row(row);
+            }
+            Change::Update { old, new } => {
+                self.put_u8(2);
+                self.put_row(old);
+                self.put_row(new);
+            }
         }
     }
 }
@@ -205,6 +258,21 @@ impl<'a> Decoder<'a> {
         }
         Ok(Row::new(vals))
     }
+
+    /// Reads a tagged [`Change`].
+    pub fn take_change(&mut self) -> Result<Change> {
+        match self.take_u8()? {
+            0 => Ok(Change::Insert(self.take_row()?)),
+            1 => Ok(Change::Delete(self.take_row()?)),
+            2 => Ok(Change::Update {
+                old: self.take_row()?,
+                new: self.take_row()?,
+            }),
+            tag => Err(RelationError::Invalid(format!(
+                "corrupt snapshot: unknown change tag {tag}"
+            ))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -277,9 +345,66 @@ mod tests {
         let mut d = Decoder::new(&[9]);
         assert!(d.take_value().is_err());
     }
+
+    #[test]
+    fn change_round_trips() {
+        let changes = [
+            Change::Insert(row![1, "a", 2.5]),
+            Change::Delete(row![7]),
+            Change::Update {
+                old: row![1, "a"],
+                new: row![1, "b"],
+            },
+        ];
+        let mut e = Encoder::new();
+        for c in &changes {
+            e.put_change(c);
+        }
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        for c in &changes {
+            assert_eq!(&d.take_change().unwrap(), c);
+        }
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn change_decoding_rejects_garbage() {
+        assert!(Decoder::new(&[3]).take_change().is_err()); // unknown tag
+        let mut e = Encoder::new();
+        e.put_change(&Change::Insert(row![1, "abc"]));
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Decoder::new(&bytes[..cut]).take_change().is_err());
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let mut e = Encoder::new();
+        e.put_row(&row![1, "abc", 2.5]);
+        let bytes = e.into_bytes();
+        let good = crc32(&bytes);
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x10;
+            assert_ne!(crc32(&flipped), good, "flip at byte {i} undetected");
+        }
+    }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use super::*;
     use crate::row::Row;

@@ -33,7 +33,7 @@ pub mod value;
 
 pub use bag::Bag;
 pub use catalog::{Catalog, Database, ForeignKey, TableDef, TableId};
-pub use codec::{Decoder, Encoder};
+pub use codec::{crc32, Decoder, Encoder};
 pub use delta::{Change, Delta};
 pub use error::{RelationError, Result};
 pub use row::Row;

@@ -1,0 +1,354 @@
+//! A minimal, offline stand-in for the crates.io `criterion` crate.
+//!
+//! Implements the API surface this workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`BatchSize`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — backed by plain `std::time::Instant` wall-clock timing.
+//!
+//! No statistics, no plots, no regression detection: each benchmark is
+//! warmed up briefly, then timed for `sample_size` samples, and the
+//! median per-iteration time is printed (with throughput when set).
+//! The numbers are honest wall-clock medians, good enough for the
+//! relative comparisons (incremental vs. recompute, WAL on vs. off)
+//! the benches exist to make.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine
+/// call per setup either way; the variants exist for source
+/// compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `function/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time, filled in by the `iter*` methods.
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a per-call cost to pick an inner count.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~2ms per sample, capped to keep total runtime bounded.
+        let inner =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..inner {
+                black_box(routine());
+            }
+            samples.push(t.elapsed() / inner as u32);
+        }
+        self.measured = Some(median(samples));
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed());
+        }
+        self.measured = Some(median(samples));
+    }
+}
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the throughput used to report rates for later benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measured: None,
+        };
+        f(&mut bencher);
+        self.report(&id, bencher.measured);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measured: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id, bencher.measured);
+        self
+    }
+
+    /// Marks the group complete (all reporting already happened).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, measured: Option<Duration>) {
+        let mut line = format!("{}/{}", self.name, id.id);
+        match measured {
+            None => line.push_str("  (no measurement: bencher never invoked)"),
+            Some(t) => {
+                let _ = write!(line, "  time: [{}]", fmt_duration(t));
+                match self.throughput {
+                    Some(Throughput::Elements(n)) if !t.is_zero() => {
+                        let rate = n as f64 / t.as_secs_f64();
+                        let _ = write!(line, "  thrpt: [{} elem/s]", fmt_rate(rate));
+                    }
+                    Some(Throughput::Bytes(n)) if !t.is_zero() => {
+                        let rate = n as f64 / t.as_secs_f64();
+                        let _ = write!(line, "  thrpt: [{} B/s]", fmt_rate(rate));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.criterion.emit(&line);
+    }
+}
+
+fn fmt_duration(t: Duration) -> String {
+    let ns = t.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.3}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// The bench harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    /// Captured output for tests; `None` prints to stdout.
+    sink: Option<Vec<String>>,
+}
+
+impl Criterion {
+    /// Accepted for source compatibility; the shim has one configuration.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// Collected at exit by `criterion_main!`; here for API parity.
+    pub fn final_summary(&self) {}
+
+    fn emit(&mut self, line: &str) {
+        match &mut self.sink {
+            Some(lines) => lines.push(line.to_owned()),
+            None => println!("{line}"),
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn captured() -> Criterion {
+        Criterion {
+            sink: Some(Vec::new()),
+        }
+    }
+
+    #[test]
+    fn groups_report_time_and_throughput() {
+        let mut c = captured();
+        {
+            let mut group = c.benchmark_group("demo");
+            group.sample_size(5);
+            group.throughput(Throughput::Elements(100));
+            group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            group.bench_function("batched", |b| {
+                b.iter_batched(
+                    || vec![1u64; 64],
+                    |v| v.iter().sum::<u64>(),
+                    BatchSize::LargeInput,
+                )
+            });
+            group.finish();
+        }
+        let lines = c.sink.unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("demo/sum/100"), "{}", lines[0]);
+        assert!(lines[0].contains("time:"), "{}", lines[0]);
+        assert!(lines[0].contains("elem/s"), "{}", lines[0]);
+        assert!(lines[1].starts_with("demo/batched"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+        assert_eq!(fmt_rate(1500.0), "1.500K");
+        assert_eq!(fmt_rate(2.5e6), "2.500M");
+    }
+
+    criterion_group!(sample_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn macros_produce_runnable_groups() {
+        sample_group();
+    }
+}

@@ -38,7 +38,9 @@ use std::collections::BTreeMap;
 
 use md_algebra::GpsjView;
 use md_core::{derive, DerivedPlan};
-use md_maintain::{MaintStats, MaintenanceEngine, StorageLine};
+use md_maintain::{
+    AuditReport, FaultPlan, MaintStats, MaintainError, MaintenanceEngine, StorageLine, Wal,
+};
 use md_relation::{Bag, Catalog, Change, Database, Decoder, Encoder, Row, TableId};
 use md_sql::{parse_view, view_to_sql};
 
@@ -67,11 +69,36 @@ impl SharedDetail {
     }
 }
 
+/// A change batch the warehouse rejected, kept in the dead-letter store
+/// for inspection and repair while serving continues.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// The source table the batch targeted.
+    pub table: TableId,
+    /// The rejected changes, verbatim.
+    pub changes: Vec<Change>,
+    /// Index of the offending change within the batch, when the failure
+    /// is attributable to a single change.
+    pub change_index: Option<usize>,
+    /// Why the batch was rejected.
+    pub reason: String,
+}
+
 /// A data warehouse maintaining one or more GPSJ summary views over
 /// minimal detail data.
 pub struct Warehouse {
     catalog: Catalog,
     engines: BTreeMap<String, MaintenanceEngine>,
+    /// Highest batch sequence number committed per source table. Batch
+    /// `n+1` of a table gets LSN `table_seq[t] + 1`.
+    table_seq: BTreeMap<TableId, u64>,
+    /// Durable change log (enabled by default; see
+    /// [`Warehouse::set_wal_enabled`]).
+    wal: Option<Wal>,
+    /// Rejected batches, in rejection order.
+    dead_letters: Vec<DeadLetter>,
+    /// Fault-injection hooks (disarmed in production).
+    faults: FaultPlan,
 }
 
 impl Warehouse {
@@ -80,7 +107,54 @@ impl Warehouse {
         Warehouse {
             catalog: catalog.clone(),
             engines: BTreeMap::new(),
+            table_seq: BTreeMap::new(),
+            wal: Some(Wal::new()),
+            dead_letters: Vec::new(),
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Enables or disables the durable change log. Disabling drops the
+    /// log (ablation/bench knob); re-enabling starts an empty one.
+    pub fn set_wal_enabled(&mut self, enabled: bool) {
+        match (enabled, self.wal.is_some()) {
+            (true, false) => self.wal = Some(Wal::new()),
+            (false, true) => self.wal = None,
+            _ => {}
+        }
+    }
+
+    /// The change log's current byte image, when logging is enabled. This
+    /// is what a deployment persists after each batch (together with
+    /// periodic [`Warehouse::save`] snapshots) and hands to
+    /// [`Warehouse::recover`] after a crash.
+    pub fn wal_bytes(&self) -> Option<&[u8]> {
+        self.wal.as_ref().map(|w| w.bytes())
+    }
+
+    /// Installs a fault-injection plan, shared with every registered
+    /// engine. Testing only.
+    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
+        for engine in self.engines.values_mut() {
+            engine.set_fault_plan(faults.clone());
+        }
+        self.faults = faults;
+    }
+
+    /// The rejected batches kept for inspection, in rejection order.
+    pub fn dead_letters(&self) -> &[DeadLetter] {
+        &self.dead_letters
+    }
+
+    /// Removes and returns the accumulated dead letters (after the
+    /// operator has repaired or discarded them).
+    pub fn take_dead_letters(&mut self) -> Vec<DeadLetter> {
+        std::mem::take(&mut self.dead_letters)
+    }
+
+    /// The highest committed batch sequence number for `table`.
+    pub fn table_seq(&self, table: TableId) -> u64 {
+        self.table_seq.get(&table).copied().unwrap_or(0)
     }
 
     /// The source catalog.
@@ -110,7 +184,14 @@ impl Warehouse {
         }
         let plan = derive(&view, &self.catalog)?;
         let mut engine = MaintenanceEngine::new(plan, &self.catalog)?;
+        engine.set_fault_plan(self.faults.clone());
         engine.initial_load(db)?;
+        // The initial load already reflects every committed batch, so
+        // align the new engine with the warehouse's sequence numbers —
+        // recovery must not replay those batches into it.
+        for table in &view.tables {
+            engine.set_applied_lsn(*table, self.table_seq(*table));
+        }
         self.engines.insert(view.name.clone(), engine);
         Ok(())
     }
@@ -125,13 +206,125 @@ impl Warehouse {
 
     /// Applies a batch of source changes on `table` to every summary —
     /// with no source access.
+    ///
+    /// All-or-nothing across the whole warehouse: every affected engine
+    /// first *prepares* the batch; only when all succeed is the batch
+    /// appended to the change log and committed everywhere under one
+    /// per-table LSN. Any failure rolls every engine back to its
+    /// pre-batch state, records the batch in the dead-letter store
+    /// (naming the offending change and reason), and returns the error —
+    /// the warehouse keeps serving its last consistent state.
     pub fn apply(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
-        for engine in self.engines.values_mut() {
-            if engine.plan().view.tables.contains(&table) {
-                engine.apply(table, changes)?;
+        match self.try_apply(table, changes) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let change_index = match &e {
+                    WarehouseError::Maintain(MaintainError::Rejected { change_index, .. }) => {
+                        *change_index
+                    }
+                    _ => None,
+                };
+                self.dead_letters.push(DeadLetter {
+                    table,
+                    changes: changes.to_vec(),
+                    change_index,
+                    reason: e.to_string(),
+                });
+                Err(e)
             }
         }
+    }
+
+    fn try_apply(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
+        self.faults.hit("warehouse.apply.begin")?;
+        let lsn = self.table_seq(table) + 1;
+        let names: Vec<String> = self
+            .engines
+            .iter()
+            .filter(|(_, e)| e.plan().view.tables.contains(&table))
+            .map(|(n, _)| n.clone())
+            .collect();
+
+        // Phase 1: prepare everywhere. The first failure rolls back every
+        // engine prepared so far; nothing was logged or committed.
+        let mut prepared = 0usize;
+        let mut failure = None;
+        for name in &names {
+            let engine = self.engines.get_mut(name).expect("listed above");
+            match engine.apply_prepared(table, changes) {
+                Ok(()) => prepared += 1,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failure {
+            self.rollback_prepared(&names[..prepared]);
+            return Err(e.into());
+        }
+
+        // Log the batch durably before committing it anywhere.
+        if self.wal.is_some() {
+            // Injection point: a crash mid-append leaves a torn frame
+            // that recovery must treat as absent.
+            if let Err(e) = self.faults.hit("warehouse.wal.torn") {
+                self.wal
+                    .as_mut()
+                    .expect("checked")
+                    .append_torn(table, lsn, changes);
+                self.rollback_prepared(&names);
+                return Err(e.into());
+            }
+            // Injection point: a crash before any log bytes are written.
+            if let Err(e) = self.faults.hit("warehouse.wal.append") {
+                self.rollback_prepared(&names);
+                return Err(e.into());
+            }
+            self.wal
+                .as_mut()
+                .expect("checked")
+                .append(table, lsn, changes);
+        }
+
+        // Phase 2: commit everywhere. Infallible in production (the
+        // injection point simulates a crash between the log append and
+        // the in-memory commit — recovery replays the logged batch).
+        if let Err(e) = self.faults.hit("warehouse.apply.commit") {
+            self.rollback_prepared(&names);
+            if self.wal.is_some() {
+                // The LSN is burnt: the log already holds this batch.
+                self.table_seq.insert(table, lsn);
+            }
+            return Err(e.into());
+        }
+        for name in &names {
+            self.engines
+                .get_mut(name)
+                .expect("listed above")
+                .commit_prepared(table, lsn);
+        }
+        self.table_seq.insert(table, lsn);
         Ok(())
+    }
+
+    fn rollback_prepared(&mut self, names: &[String]) {
+        for name in names {
+            if let Some(engine) = self.engines.get_mut(name) {
+                engine.rollback_prepared();
+            }
+        }
+    }
+
+    /// Source-free integrity audit of every summary: recomputes each `V`
+    /// from its auxiliary views and cross-checks the maintenance indexes
+    /// (see [`MaintenanceEngine::audit`]). Returns one report per
+    /// summary, in name order.
+    pub fn audit(&self) -> Vec<(String, AuditReport)> {
+        self.engines
+            .iter()
+            .map(|(name, engine)| (name.clone(), engine.audit()))
+            .collect()
     }
 
     fn engine(&self, name: &str) -> Result<&MaintenanceEngine> {
@@ -235,8 +428,16 @@ impl Warehouse {
     /// survive restarts without ever contacting the sources, which is the
     /// paper's operating assumption.
     pub fn save(&self) -> Result<Vec<u8>> {
+        self.faults.hit("warehouse.save")?;
         let mut e = Encoder::new();
-        e.put_str("MDWH1");
+        e.put_str("MDWH2");
+        // Per-table batch sequence numbers, so recovery knows where the
+        // image stands relative to the change log.
+        e.put_u32(self.table_seq.len() as u32);
+        for (table, seq) in &self.table_seq {
+            e.put_u32(table.0 as u32);
+            e.put_u64(*seq);
+        }
         e.put_u32(self.engines.len() as u32);
         for (name, engine) in &self.engines {
             e.put_str(name);
@@ -257,14 +458,18 @@ impl Warehouse {
     pub fn restore(catalog: &Catalog, bytes: &[u8]) -> Result<Self> {
         let mut d = Decoder::new(bytes);
         let header = d.take_str().map_err(WarehouseError::from)?;
-        if header != "MDWH1" {
-            return Err(WarehouseError::Maintain(
-                md_maintain::MaintainError::InvariantViolation(
-                    "not a warehouse image (bad header)".into(),
-                ),
-            ));
+        if header != "MDWH2" {
+            return Err(WarehouseError::Maintain(MaintainError::InvariantViolation(
+                format!("not a readable warehouse image (header '{header}', expected 'MDWH2')"),
+            )));
         }
         let mut wh = Warehouse::new(catalog);
+        let n_seq = d.take_u32().map_err(WarehouseError::from)?;
+        for _ in 0..n_seq {
+            let table = TableId(d.take_u32().map_err(WarehouseError::from)? as usize);
+            let seq = d.take_u64().map_err(WarehouseError::from)?;
+            wh.table_seq.insert(table, seq);
+        }
         let n = d.take_u32().map_err(WarehouseError::from)?;
         for _ in 0..n {
             let name = d.take_str().map_err(WarehouseError::from)?;
@@ -279,6 +484,59 @@ impl Warehouse {
             let engine = MaintenanceEngine::restore(plan, catalog, &image)?;
             wh.engines.insert(name, engine);
         }
+        if !d.is_exhausted() {
+            return Err(WarehouseError::Maintain(MaintainError::InvariantViolation(
+                format!("warehouse image has {} trailing bytes", d.remaining()),
+            )));
+        }
+        Ok(wh)
+    }
+
+    /// Crash recovery: restores the latest [`Warehouse::save`] image and
+    /// replays the change-log suffix it has not seen — every logged batch
+    /// whose LSN exceeds the corresponding engine's committed mark.
+    /// Replay is idempotent (committed batches are skipped per engine),
+    /// tolerates a torn tail write in the log, and routes any batch that
+    /// no longer applies to the dead-letter store rather than aborting,
+    /// so a recovered warehouse always comes up serving.
+    pub fn recover(catalog: &Catalog, snapshot: &[u8], wal_bytes: &[u8]) -> Result<Self> {
+        let mut wh = Warehouse::restore(catalog, snapshot)?;
+        let (records, _) = Wal::replay(wal_bytes)?;
+        for rec in records {
+            let seq = wh.table_seq.entry(rec.table).or_insert(0);
+            *seq = (*seq).max(rec.lsn);
+            let names: Vec<String> = wh
+                .engines
+                .iter()
+                .filter(|(_, e)| e.plan().view.tables.contains(&rec.table))
+                .map(|(n, _)| n.clone())
+                .collect();
+            let mut failure: Option<MaintainError> = None;
+            for name in &names {
+                let engine = wh.engines.get_mut(name).expect("listed above");
+                if let Err(e) = engine.apply_at(rec.table, &rec.changes, rec.lsn) {
+                    failure = Some(e);
+                    break;
+                }
+            }
+            if let Some(e) = failure {
+                // Engines that already replayed this record keep it (each
+                // failed engine rolled itself back); the batch goes to
+                // the dead-letter store for the operator.
+                wh.dead_letters.push(DeadLetter {
+                    table: rec.table,
+                    changes: rec.changes,
+                    change_index: match &e {
+                        MaintainError::Rejected { change_index, .. } => *change_index,
+                        _ => None,
+                    },
+                    reason: format!("replay of logged batch lsn {} failed: {e}", rec.lsn),
+                });
+            }
+        }
+        // Adopt the surviving log so new batches append after its valid
+        // prefix (any torn tail is truncated on the next append).
+        wh.wal = Some(Wal::open(wal_bytes.to_vec())?);
         Ok(wh)
     }
 

@@ -1,0 +1,198 @@
+//! Corrupted persistence images must surface as typed errors — never as
+//! panics, hangs or absurd allocations. Exercises engine snapshots,
+//! warehouse images and change-log images against truncation, bit flips,
+//! wrong magic/version bytes and definition drift.
+
+use md_core::derive;
+use md_maintain::wal::{Wal, WAL_VERSION};
+use md_maintain::MaintenanceEngine;
+use md_sql::parse_view;
+use md_warehouse::Warehouse;
+use md_workload::{generate_retail, sale_changes, views, Contracts, RetailParams, UpdateMix};
+
+fn engine_image() -> (md_relation::Catalog, Vec<u8>) {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let cat = db.catalog().clone();
+    let view = parse_view(views::PRODUCT_SALES_SQL, &cat, "v").unwrap();
+    let plan = derive(&view, &cat).unwrap();
+    let mut engine = MaintenanceEngine::new(plan, &cat).unwrap();
+    engine.initial_load(&db).unwrap();
+    let changes = sale_changes(&mut db, &schema, 20, UpdateMix::balanced(), 17);
+    engine.apply(schema.sale, &changes).unwrap();
+    (cat, engine.snapshot().unwrap())
+}
+
+fn restore_engine(cat: &md_relation::Catalog, bytes: &[u8]) -> md_maintain::Result<()> {
+    let view = parse_view(views::PRODUCT_SALES_SQL, cat, "v").unwrap();
+    let plan = derive(&view, cat).unwrap();
+    MaintenanceEngine::restore(plan, cat, bytes).map(|_| ())
+}
+
+#[test]
+fn every_truncation_of_an_engine_snapshot_is_a_typed_error() {
+    let (cat, image) = engine_image();
+    assert!(
+        restore_engine(&cat, &image).is_ok(),
+        "intact image restores"
+    );
+    for cut in 0..image.len() {
+        let err = match restore_engine(&cat, &image[..cut]) {
+            Err(e) => e,
+            Ok(()) => panic!("truncation at byte {cut} restored successfully"),
+        };
+        // A typed error with a message — not a panic, not an empty shell.
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn engine_snapshot_byte_flips_never_panic() {
+    let (cat, image) = engine_image();
+    for i in 0..image.len() {
+        let mut flipped = image.clone();
+        flipped[i] ^= 0xA5;
+        // The flip may be detected (Err) or land in a don't-care bit
+        // pattern (Ok) — either way restore must return, not panic.
+        let _ = restore_engine(&cat, &flipped);
+    }
+}
+
+#[test]
+fn engine_snapshot_header_corruptions_are_named() {
+    let (cat, image) = engine_image();
+
+    let mut bad_magic = image.clone();
+    bad_magic[0] = b'X';
+    let err = restore_engine(&cat, &bad_magic).unwrap_err();
+    assert!(err.to_string().contains("magic"), "got: {err}");
+
+    let mut bad_version = image.clone();
+    bad_version[4] = 99;
+    let err = restore_engine(&cat, &bad_version).unwrap_err();
+    assert!(err.to_string().contains("version 99"), "got: {err}");
+
+    let mut trailing = image.clone();
+    trailing.extend_from_slice(b"junk");
+    let err = restore_engine(&cat, &trailing).unwrap_err();
+    assert!(err.to_string().contains("trailing"), "got: {err}");
+
+    let err = restore_engine(&cat, b"").unwrap_err();
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn engine_snapshot_rejects_a_drifted_plan() {
+    let (cat, image) = engine_image();
+    // Same catalog, different view: the fingerprint must catch it.
+    let other = parse_view(views::DAILY_PRODUCT_SQL, &cat, "v").unwrap();
+    let other_plan = derive(&other, &cat).unwrap();
+    let err = match MaintenanceEngine::restore(other_plan, &cat, &image) {
+        Err(e) => e,
+        Ok(_) => panic!("a drifted plan must be rejected"),
+    };
+    assert!(err.to_string().contains("fingerprint"), "got: {err}");
+}
+
+fn warehouse_image() -> (md_relation::Catalog, Vec<u8>) {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let mut wh = Warehouse::new(db.catalog());
+    wh.add_summary_sql(views::PRODUCT_SALES_SQL, &db).unwrap();
+    wh.add_summary_sql(views::STORE_REVENUE_SQL, &db).unwrap();
+    let changes = sale_changes(&mut db, &schema, 20, UpdateMix::balanced(), 23);
+    wh.apply(schema.sale, &changes).unwrap();
+    (db.catalog().clone(), wh.save().unwrap())
+}
+
+#[test]
+fn every_truncation_of_a_warehouse_image_is_a_typed_error() {
+    let (cat, image) = warehouse_image();
+    assert!(Warehouse::restore(&cat, &image).is_ok());
+    for cut in 0..image.len() {
+        assert!(
+            Warehouse::restore(&cat, &image[..cut]).is_err(),
+            "truncation at byte {cut} restored successfully"
+        );
+    }
+}
+
+#[test]
+fn warehouse_image_byte_flips_never_panic() {
+    let (cat, image) = warehouse_image();
+    for i in 0..image.len() {
+        let mut flipped = image.clone();
+        flipped[i] ^= 0xA5;
+        let _ = Warehouse::restore(&cat, &flipped);
+    }
+}
+
+#[test]
+fn warehouse_image_header_corruptions_are_named() {
+    let (cat, image) = warehouse_image();
+
+    // The header is a length-prefixed string: byte 4 is the first char.
+    let mut bad_header = image.clone();
+    bad_header[4] = b'X';
+    let err = match Warehouse::restore(&cat, &bad_header) {
+        Err(e) => e,
+        Ok(_) => panic!("bad header must be rejected"),
+    };
+    assert!(err.to_string().contains("header"), "got: {err}");
+
+    let mut trailing = image.clone();
+    trailing.push(0);
+    let err = match Warehouse::restore(&cat, &trailing) {
+        Err(e) => e,
+        Ok(_) => panic!("trailing bytes must be rejected"),
+    };
+    assert!(err.to_string().contains("trailing"), "got: {err}");
+
+    assert!(Warehouse::restore(&cat, b"nonsense").is_err());
+    assert!(Warehouse::restore(&cat, b"").is_err());
+}
+
+#[test]
+fn recovery_survives_arbitrary_log_corruption() {
+    // A corrupted change-log *body* degrades recovery (the valid prefix
+    // is kept) but never breaks it; only a corrupt header is an error.
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let mut wh = Warehouse::new(db.catalog());
+    wh.add_summary_sql(views::PRODUCT_SALES_SQL, &db).unwrap();
+    let snapshot = wh.save().unwrap();
+    for seed in 0..3 {
+        let changes = sale_changes(&mut db, &schema, 8, UpdateMix::balanced(), 400 + seed);
+        wh.apply(schema.sale, &changes).unwrap();
+    }
+    let wal = wh.wal_bytes().unwrap().to_vec();
+
+    for i in 5..wal.len() {
+        let mut flipped = wal.clone();
+        flipped[i] ^= 0xA5;
+        let recovered = Warehouse::recover(db.catalog(), &snapshot, &flipped)
+            .expect("body corruption is torn-tail, not fatal");
+        // Whatever survived the corruption, the result is coherent.
+        for (name, report) in recovered.audit() {
+            assert!(report.is_clean(), "audit of '{name}' after flip at {i}");
+        }
+    }
+    for cut in 5..wal.len() {
+        assert!(Warehouse::recover(db.catalog(), &snapshot, &wal[..cut]).is_ok());
+    }
+
+    // Header corruption is a different animal: wrong file, typed error.
+    assert!(Warehouse::recover(db.catalog(), &snapshot, b"").is_err());
+    assert!(Warehouse::recover(db.catalog(), &snapshot, b"MDWX\x01").is_err());
+    let bad_version = [b"MDWL".as_slice(), &[WAL_VERSION + 1]].concat();
+    assert!(Warehouse::recover(db.catalog(), &snapshot, &bad_version).is_err());
+
+    // And a sanity check that an intact log still recovers fully.
+    let recovered = Warehouse::recover(db.catalog(), &snapshot, &wal).unwrap();
+    assert_eq!(
+        recovered.summary_rows("product_sales").unwrap(),
+        wh.summary_rows("product_sales").unwrap()
+    );
+
+    // Recovery with a fresh (empty) log is the no-replay baseline.
+    let empty = Wal::new();
+    let recovered = Warehouse::recover(db.catalog(), &snapshot, empty.bytes()).unwrap();
+    assert!(recovered.dead_letters().is_empty());
+}
