@@ -341,7 +341,7 @@ fn bench_dim_update_ablation(c: &mut Criterion) {
 /// log (WAL) enabled vs disabled. The log append is a serialize + CRC +
 /// copy per batch — this measures what crash safety costs per change.
 fn bench_wal_overhead(c: &mut Criterion) {
-    use md_warehouse::Warehouse;
+    use md_warehouse::{ChangeBatch, Warehouse};
     use md_workload::{generate_retail, Contracts};
 
     let mut group = c.benchmark_group("wal_overhead");
@@ -353,17 +353,15 @@ fn bench_wal_overhead(c: &mut Criterion) {
                 b.iter_batched(
                     || {
                         let (mut db, schema) = generate_retail(params(), Contracts::Tight);
-                        let mut wh = Warehouse::new(db.catalog());
-                        wh.set_wal_enabled(wal_on);
+                        let mut wh = Warehouse::builder().wal(wal_on).build(db.catalog());
                         wh.add_summary_sql(views::PRODUCT_SALES_SQL, &db)
                             .expect("registers");
                         let changes =
                             sale_changes(&mut db, &schema, batch, UpdateMix::balanced(), 7);
-                        (wh, schema, changes)
+                        (wh, ChangeBatch::single(schema.sale, changes))
                     },
-                    |(mut wh, schema, changes)| {
-                        wh.apply(schema.sale, black_box(&changes))
-                            .expect("maintains");
+                    |(mut wh, batch)| {
+                        wh.apply_batch(black_box(&batch)).expect("maintains");
                         wh
                     },
                     criterion::BatchSize::LargeInput,

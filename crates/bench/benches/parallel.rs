@@ -1,0 +1,81 @@
+//! Parallel batch-pipeline benchmarks: the same hot-row, update-heavy
+//! schedule pushed through the warehouse under the scheduler's three
+//! configurations (serial baseline, coalesced serial, coalesced 4-worker
+//! fan-out). `report_parallel` produces the recorded JSON figures; this
+//! target keeps the comparison under `cargo bench` and under the CI
+//! smoke run (`cargo bench -- --test`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use md_warehouse::{ChangeBatch, Warehouse, WarehouseBuilder};
+use md_workload::{
+    generate_retail, hot_sale_batches, views, Contracts, HotBatchParams, RetailParams,
+};
+
+const SUMMARIES: [&str; 4] = [
+    views::PRODUCT_SALES_SQL,
+    views::PRODUCT_SALES_MAX_SQL,
+    views::STORE_REVENUE_SQL,
+    views::DAILY_PRODUCT_SQL,
+];
+
+fn bench_parallel_pipeline(c: &mut Criterion) {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let db0 = db.clone();
+    let schedule: Vec<ChangeBatch> = hot_sale_batches(
+        &mut db,
+        &schema,
+        HotBatchParams {
+            batches: 4,
+            hot_rows: 20,
+            touches: 5,
+            transient_pairs: 5,
+        },
+    )
+    .into_iter()
+    .map(|changes| ChangeBatch::single(schema.sale, changes))
+    .collect();
+    let submitted: u64 = schedule.iter().map(|b| b.change_count() as u64).sum();
+
+    let configs: [(&str, WarehouseBuilder); 3] = [
+        (
+            "serial_no_coalesce",
+            Warehouse::builder().workers(1).coalesce(false),
+        ),
+        (
+            "serial_coalesced",
+            Warehouse::builder().workers(1).coalesce(true),
+        ),
+        (
+            "workers_4_coalesced",
+            Warehouse::builder().workers(4).coalesce(true),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("parallel_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(submitted));
+    for (label, builder) in configs {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut wh = builder.clone().build(db0.catalog());
+                    for sql in SUMMARIES {
+                        wh.add_summary_sql(sql, &db0).expect("summary registers");
+                    }
+                    wh
+                },
+                |mut wh| {
+                    for batch in &schedule {
+                        wh.apply_batch(black_box(batch)).expect("maintains");
+                    }
+                    wh
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_pipeline);
+criterion_main!(benches);

@@ -14,6 +14,7 @@
 //! \churn N                   stream N random source changes through
 //! \verify                    oracle-check every summary (demo only)
 //! \audit                     source-free integrity audit (V vs X, indexes)
+//! \sched                     batch-scheduler counters and stage timings
 //! \deadletters               rejected batches kept for inspection
 //! \wal                       change-log status (records, bytes)
 //! \save FILE | \restore FILE persist / restart from the warehouse image
@@ -21,12 +22,14 @@
 //! \help | \quit
 //! ```
 //!
+//! Pass `--workers N` to fan maintenance out across N worker threads.
+//!
 //! Try: `cargo run -p md-bench --bin mindetail -- --demo`
 
 use std::io::{BufRead, Write};
 
 use md_core::human_bytes;
-use md_warehouse::Warehouse;
+use md_warehouse::{ChangeBatch, Warehouse, WarehouseBuilder};
 use md_workload::{
     generate_retail, sale_changes, views, Contracts, RetailParams, RetailSchema, UpdateMix,
 };
@@ -36,17 +39,31 @@ struct Shell {
     db: md_relation::Database,
     schema: RetailSchema,
     churn_seed: u64,
+    workers: usize,
+}
+
+impl Shell {
+    fn builder(&self) -> WarehouseBuilder {
+        Warehouse::builder().workers(self.workers)
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers: usize = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let (db, schema) = generate_retail(RetailParams::small(), Contracts::Tight);
-    let wh = Warehouse::new(db.catalog());
+    let wh = Warehouse::builder().workers(workers).build(db.catalog());
     let mut shell = Shell {
         wh,
         db,
         schema,
         churn_seed: 1,
+        workers,
     };
 
     println!("mindetail — minimal detail data for GPSJ summary views (EDBT 1998)");
@@ -62,6 +79,7 @@ fn main() {
             "\\storage",
             "\\verify",
             "\\audit",
+            "\\sched",
             "\\wal",
         ] {
             println!("mindetail> {cmd}");
@@ -172,7 +190,7 @@ impl Shell {
                     "CREATE VIEW ... ;  register a GPSJ summary view\n\
                      \\tables  \\views  \\explain NAME  \\rows NAME [N]\n\
                      \\storage  \\shared  \\churn N  \\verify\n\
-                     \\audit  \\deadletters  \\wal\n\
+                     \\audit  \\sched  \\deadletters  \\wal\n\
                      \\save FILE  \\restore FILE  \\recover FILE  \\quit"
                 );
             }
@@ -259,7 +277,7 @@ impl Shell {
                     self.churn_seed,
                 );
                 self.wh
-                    .apply(self.schema.sale, &changes)
+                    .apply_batch(&ChangeBatch::single(self.schema.sale, changes))
                     .map_err(|e| e.to_string())?;
                 println!("applied {n} random source changes (no base-table access)");
             }
@@ -288,6 +306,35 @@ impl Shell {
                             println!("  - {f}");
                         }
                     }
+                }
+            }
+            "\\sched" => {
+                let s = self.wh.scheduler_stats();
+                println!(
+                    "workers: {}   batches applied: {}",
+                    self.wh.workers(),
+                    s.batches_applied
+                );
+                println!(
+                    "changes: {} submitted -> {} applied after coalescing",
+                    s.changes_submitted, s.changes_applied
+                );
+                println!(
+                    "stage wall time: coalesce {:.3}ms  fan-out {:.3}ms  wal {:.3}ms  commit {:.3}ms",
+                    s.coalesce_nanos as f64 / 1e6,
+                    s.fanout_nanos as f64 / 1e6,
+                    s.wal_nanos as f64 / 1e6,
+                    s.commit_nanos as f64 / 1e6
+                );
+                let names: Vec<String> = self.wh.summaries().map(|s| s.to_owned()).collect();
+                for name in names {
+                    let st = self.wh.stats(&name).map_err(|e| e.to_string())?;
+                    println!(
+                        "  {:<24} prepare {:.3}ms  commit {:.3}ms",
+                        name,
+                        st.prepare_nanos as f64 / 1e6,
+                        st.commit_nanos as f64 / 1e6
+                    );
                 }
             }
             "\\deadletters" => {
@@ -353,15 +400,19 @@ impl Shell {
             "\\restore" => {
                 let path = arg1.ok_or("usage: \\restore FILE")?;
                 let image = std::fs::read(path).map_err(|e| e.to_string())?;
-                self.wh =
-                    Warehouse::restore(self.db.catalog(), &image).map_err(|e| e.to_string())?;
+                self.wh = self
+                    .builder()
+                    .restore(self.db.catalog(), &image)
+                    .map_err(|e| e.to_string())?;
                 println!("restored {} summaries", self.wh.summaries().count());
             }
             "\\recover" => {
                 let path = arg1.ok_or("usage: \\recover FILE (reads FILE and FILE.wal)")?;
                 let image = std::fs::read(path).map_err(|e| e.to_string())?;
                 let wal = std::fs::read(format!("{path}.wal")).map_err(|e| e.to_string())?;
-                self.wh = Warehouse::recover(self.db.catalog(), &image, &wal)
+                self.wh = self
+                    .builder()
+                    .recover(self.db.catalog(), &image, &wal)
                     .map_err(|e| e.to_string())?;
                 println!(
                     "recovered {} summaries (log replayed; {} batch(es) dead-lettered)",

@@ -43,7 +43,13 @@ use crate::summary::{AggState, GroupState, SummaryStore};
 
 /// Counters describing the work the engine has done — the measurements
 /// behind the maintenance-cost experiments (E9).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// The `*_nanos` fields are process-local wall-clock measurements feeding
+/// the parallel-scheduler experiments: they are excluded from equality
+/// (two engines in the same logical state compare equal regardless of
+/// how long each took to get there), never serialized into snapshots,
+/// and survive batch rollbacks (time was genuinely spent).
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MaintStats {
     /// Source delta rows processed (after update splitting).
     pub rows_processed: u64,
@@ -56,7 +62,24 @@ pub struct MaintStats {
     /// Dimension updates handled by the targeted fast path (per-group
     /// adjustment via the foreign-key index) instead of a full rebuild.
     pub dim_targeted_updates: u64,
+    /// Wall-clock nanoseconds spent in the prepare phase (timing only).
+    pub prepare_nanos: u64,
+    /// Wall-clock nanoseconds spent in the commit phase (timing only).
+    pub commit_nanos: u64,
 }
+
+impl PartialEq for MaintStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Timing fields are measurements, not logical state.
+        self.rows_processed == other.rows_processed
+            && self.groups_recomputed == other.groups_recomputed
+            && self.summary_rebuilds == other.summary_rebuilds
+            && self.dim_noop_changes == other.dim_noop_changes
+            && self.dim_targeted_updates == other.dim_targeted_updates
+    }
+}
+
+impl Eq for MaintStats {}
 
 /// The result of [`MaintenanceEngine::audit`]: a list of invariant
 /// violations found by cross-checking `V` against `X`. A clean report is
@@ -501,30 +524,60 @@ impl MaintenanceEngine {
     /// rolled back. The warehouse uses this to coordinate one batch
     /// across several engines and the change log.
     pub fn apply_prepared(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
+        self.prepare_batch(&[(table, changes)])
+    }
+
+    /// Multi-group variant of [`Self::apply_prepared`]: runs every
+    /// per-table group of one [`crate::ChangeBatch`](crate::batch::ChangeBatch)
+    /// relevant to this engine inside a *single* open transaction, in
+    /// group order. On error the engine has already been rolled back —
+    /// all groups take effect together or not at all. This is the unit
+    /// the parallel scheduler fans out: one call per engine, safe to run
+    /// on a scoped worker thread (`MaintenanceEngine: Send`, and each
+    /// engine is touched by exactly one worker).
+    pub fn prepare_batch(&mut self, groups: &[(TableId, &[Change])]) -> Result<()> {
+        let started = std::time::Instant::now();
+        let result = self.prepare_batch_inner(groups);
+        self.stats.prepare_nanos += started.elapsed().as_nanos() as u64;
+        result
+    }
+
+    fn prepare_batch_inner(&mut self, groups: &[(TableId, &[Change])]) -> Result<()> {
         // Plans derived under the append-only regime (paper Section 4)
         // dropped the detail data that deletions would need; reject any
         // non-insert change loudly instead of corrupting the summary.
         if self.plan.regime == md_core::ChangeRegime::AppendOnly {
-            if let Some(i) = changes.iter().position(|c| !matches!(c, Change::Insert(_))) {
-                let cause = MaintainError::InvariantViolation(format!(
-                    "view '{}' was derived under the append-only regime; \
-                     the source violated its insert-only contract",
-                    self.plan.view.name
-                ));
-                return Err(self.reject(table, Some(i), cause));
+            for (table, changes) in groups {
+                if let Some(i) = changes.iter().position(|c| !matches!(c, Change::Insert(_))) {
+                    let cause = MaintainError::InvariantViolation(format!(
+                        "view '{}' was derived under the append-only regime; \
+                         the source violated its insert-only contract",
+                        self.plan.view.name
+                    ));
+                    return Err(self.reject(*table, Some(i), cause));
+                }
             }
         }
         self.begin_txn();
-        let result = self.faults.hit("engine.apply.begin").and_then(|()| {
-            if table == self.plan.graph.root() {
-                self.apply_root_changes(table, changes)
-            } else {
-                self.apply_dim_changes(table, changes)
-            }
-        });
-        if let Err(e) = result {
+        if let Err(e) = self.prepare_groups_body(groups) {
             self.rollback_txn();
+            let table = groups
+                .first()
+                .map(|(t, _)| *t)
+                .unwrap_or_else(|| self.plan.graph.root());
             return Err(self.reject(table, None, e));
+        }
+        Ok(())
+    }
+
+    fn prepare_groups_body(&mut self, groups: &[(TableId, &[Change])]) -> Result<()> {
+        self.faults.hit("engine.apply.begin")?;
+        for (table, changes) in groups {
+            if *table == self.plan.graph.root() {
+                self.apply_root_changes(*table, changes)?;
+            } else {
+                self.apply_dim_changes(*table, changes)?;
+            }
         }
         Ok(())
     }
@@ -532,12 +585,22 @@ impl MaintenanceEngine {
     /// Second phase of a two-phase apply: keeps the prepared batch and
     /// records it as committed under `lsn`.
     pub fn commit_prepared(&mut self, table: TableId, lsn: u64) {
+        self.commit_batch(&[(table, lsn)]);
+    }
+
+    /// Multi-group variant of [`Self::commit_prepared`]: keeps the
+    /// prepared batch and records every per-table LSN it covered.
+    pub fn commit_batch(&mut self, lsns: &[(TableId, u64)]) {
+        let started = std::time::Instant::now();
         for store in self.aux.values_mut() {
             store.commit_undo();
         }
         self.summary.commit_undo();
         self.txn = None;
-        self.set_applied_lsn(table, lsn.max(self.applied_lsn(table)));
+        for (table, lsn) in lsns {
+            self.set_applied_lsn(*table, (*lsn).max(self.applied_lsn(*table)));
+        }
+        self.stats.commit_nanos += started.elapsed().as_nanos() as u64;
     }
 
     /// Second phase of a two-phase apply: undoes the prepared batch,
@@ -584,7 +647,12 @@ impl MaintenanceEngine {
             }
         }
         self.group_index = gi;
+        // Logical counters roll back with the batch; timing counters do
+        // not — the time was genuinely spent.
+        let (prepare_nanos, commit_nanos) = (self.stats.prepare_nanos, self.stats.commit_nanos);
         self.stats = txn.stats;
+        self.stats.prepare_nanos = prepare_nanos;
+        self.stats.commit_nanos = commit_nanos;
         self.dirty.clear();
         // Repairs and root folds may have moved the fk index; rebuilding
         // from the restored root store is always correct.
@@ -1411,6 +1479,16 @@ impl MaintenanceEngine {
         }
         Ok(true)
     }
+}
+
+/// Compile-time guarantee the parallel scheduler relies on: engines can
+/// be handed to scoped worker threads (each engine touched by exactly one
+/// worker per batch, so no `Sync` requirement).
+#[allow(dead_code)]
+fn assert_engine_is_send()
+where
+    MaintenanceEngine: Send,
+{
 }
 
 /// The aggregate argument values of one joined tuple, parallel to the

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -33,6 +34,7 @@ pub mod store;
 pub mod summary;
 pub mod wal;
 
+pub use batch::{coalesce_changes, ChangeBatch};
 pub use engine::{AuditReport, MaintStats, MaintenanceEngine, StorageLine};
 pub use error::{MaintainError, Result};
 pub use fault::FaultPlan;

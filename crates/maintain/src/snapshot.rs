@@ -161,6 +161,9 @@ impl MaintenanceEngine {
             summary_rebuilds: d.take_u64().map_err(MaintainError::from)?,
             dim_noop_changes: d.take_u64().map_err(MaintainError::from)?,
             dim_targeted_updates: d.take_u64().map_err(MaintainError::from)?,
+            // Timing counters are process-local measurements — never part
+            // of the snapshot format, reset on restore.
+            ..MaintStats::default()
         };
         engine.set_stats(stats);
 

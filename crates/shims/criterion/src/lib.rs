@@ -71,6 +71,9 @@ impl From<String> for BenchmarkId {
 /// The timing loop handed to benchmark closures.
 pub struct Bencher {
     samples: usize,
+    /// Smoke-test mode (`--test`): run each routine exactly once to prove
+    /// it works, skip warm-up and repeated sampling.
+    smoke: bool,
     /// Median per-iteration time, filled in by the `iter*` methods.
     measured: Option<Duration>,
 }
@@ -78,6 +81,12 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine` directly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            let t = Instant::now();
+            black_box(routine());
+            self.measured = Some(t.elapsed());
+            return;
+        }
         // Warm up and estimate a per-call cost to pick an inner count.
         let t0 = Instant::now();
         black_box(routine());
@@ -104,8 +113,9 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        let mut samples = Vec::with_capacity(self.samples);
-        for _ in 0..self.samples {
+        let runs = if self.smoke { 1 } else { self.samples };
+        let mut samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
             let input = setup();
             let t = Instant::now();
             black_box(routine(input));
@@ -125,6 +135,7 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    smoke: bool,
     throughput: Option<Throughput>,
 }
 
@@ -150,6 +161,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut bencher = Bencher {
             samples: self.sample_size,
+            smoke: self.smoke,
             measured: None,
         };
         f(&mut bencher);
@@ -170,6 +182,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut bencher = Bencher {
             samples: self.sample_size,
+            smoke: self.smoke,
             measured: None,
         };
         f(&mut bencher, input);
@@ -233,11 +246,17 @@ fn fmt_rate(rate: f64) -> String {
 pub struct Criterion {
     /// Captured output for tests; `None` prints to stdout.
     sink: Option<Vec<String>>,
+    /// `--test` smoke mode: run every routine once, don't measure.
+    smoke: bool,
 }
 
 impl Criterion {
-    /// Accepted for source compatibility; the shim has one configuration.
-    pub fn configure_from_args(self) -> Self {
+    /// Reads the harness flags real criterion supports that the shim
+    /// honors: `--test` switches to smoke mode (each benchmark routine
+    /// runs exactly once — CI uses it to prove the benches still work
+    /// without paying for real sampling). Everything else is ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.smoke = std::env::args().any(|a| a == "--test");
         self
     }
 
@@ -245,9 +264,10 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
-            criterion: self,
             sample_size: 10,
+            smoke: self.smoke,
             throughput: None,
+            criterion: self,
         }
     }
 
@@ -301,6 +321,7 @@ mod tests {
     fn captured() -> Criterion {
         Criterion {
             sink: Some(Vec::new()),
+            smoke: false,
         }
     }
 
@@ -339,6 +360,28 @@ mod tests {
         assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
         assert_eq!(fmt_rate(1500.0), "1.500K");
         assert_eq!(fmt_rate(2.5e6), "2.500M");
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_routine_exactly_once() {
+        let mut c = Criterion {
+            sink: Some(Vec::new()),
+            smoke: true,
+        };
+        let mut direct = 0u32;
+        let mut batched = 0u32;
+        {
+            let mut group = c.benchmark_group("smoke");
+            group.sample_size(50);
+            group.bench_function("direct", |b| b.iter(|| direct += 1));
+            group.bench_function("batched", |b| {
+                b.iter_batched(|| (), |()| batched += 1, BatchSize::SmallInput)
+            });
+            group.finish();
+        }
+        assert_eq!(direct, 1, "smoke mode must ignore sample_size");
+        assert_eq!(batched, 1);
+        assert_eq!(c.sink.unwrap().len(), 2, "smoke runs still report");
     }
 
     criterion_group!(sample_group, noop_bench);

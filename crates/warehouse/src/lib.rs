@@ -19,12 +19,16 @@ pub mod error;
 pub mod warehouse;
 
 pub use error::{Result, WarehouseError};
-pub use warehouse::{SharedDetail, Warehouse};
+pub use warehouse::{
+    DeadLetter, DeadLetterStore, SchedulerStats, SharedDetail, Warehouse, WarehouseBuilder,
+};
 
 // Re-export the layers a downstream user typically needs alongside the
 // facade, so `md-warehouse` can be used as a single dependency.
 pub use md_algebra::{AggFunc, Aggregate, CmpOp, ColRef, Condition, GpsjView, SelectItem};
 pub use md_core::{derive, DerivedPlan, RetailModel};
-pub use md_maintain::{MaintStats, MaintenanceEngine, StorageLine};
+pub use md_maintain::{
+    coalesce_changes, ChangeBatch, FaultPlan, MaintStats, MaintenanceEngine, StorageLine, Wal,
+};
 pub use md_relation::{Bag, Catalog, Change, DataType, Database, Row, Schema, TableId, Value};
 pub use md_sql::{parse_view, view_to_sql};

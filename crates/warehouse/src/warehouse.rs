@@ -6,9 +6,14 @@
 //! both consistent as the operational sources stream changes at it. After
 //! the initial load it never reads a source again.
 //!
+//! Configuration is fixed at construction via [`WarehouseBuilder`]; change
+//! ingestion goes through multi-table [`ChangeBatch`]es which the
+//! scheduler coalesces, fans out across the summary engines (optionally on
+//! worker threads) and commits under a single WAL append point.
+//!
 //! ```
 //! use md_relation::{row, Catalog, Database, DataType, Schema};
-//! use md_warehouse::Warehouse;
+//! use md_warehouse::{ChangeBatch, Warehouse};
 //!
 //! let mut cat = Catalog::new();
 //! let t = cat
@@ -21,25 +26,29 @@
 //! let mut db = Database::new(cat.clone());
 //! db.insert(t, row![1, 10.0]).unwrap();
 //!
-//! let mut wh = Warehouse::new(&cat);
+//! let mut wh = Warehouse::builder().workers(2).build(&cat);
 //! wh.add_summary_sql(
 //!     "CREATE VIEW totals AS SELECT COUNT(*) AS n, SUM(orders.amount) AS total FROM orders",
 //!     &db,
 //! )
 //! .unwrap();
 //!
-//! let change = db.insert(t, row![2, 5.0]).unwrap();
-//! wh.apply(t, &[change]).unwrap();
+//! let mut batch = ChangeBatch::new();
+//! batch.push(t, db.insert(t, row![2, 5.0]).unwrap());
+//! wh.apply_batch(&batch).unwrap();
 //! let rows = wh.summary_rows("totals").unwrap();
 //! assert_eq!(rows, vec![row![2, 15.0]]);
 //! ```
 
 use std::collections::BTreeMap;
+use std::ops::Deref;
+use std::time::Instant;
 
 use md_algebra::GpsjView;
 use md_core::{derive, DerivedPlan};
 use md_maintain::{
-    AuditReport, FaultPlan, MaintStats, MaintainError, MaintenanceEngine, StorageLine, Wal,
+    AuditReport, ChangeBatch, FaultPlan, MaintStats, MaintainError, MaintenanceEngine, StorageLine,
+    Wal,
 };
 use md_relation::{Bag, Catalog, Change, Database, Decoder, Encoder, Row, TableId};
 use md_sql::{parse_view, view_to_sql};
@@ -69,19 +78,273 @@ impl SharedDetail {
     }
 }
 
-/// A change batch the warehouse rejected, kept in the dead-letter store
+/// A change group the warehouse rejected, kept in the dead-letter store
 /// for inspection and repair while serving continues.
 #[derive(Debug, Clone)]
 pub struct DeadLetter {
-    /// The source table the batch targeted.
+    /// The source table the group targeted.
     pub table: TableId,
-    /// The rejected changes, verbatim.
+    /// The LSN the group would have committed under.
+    pub lsn: u64,
+    /// The rejected changes as the engines saw them (coalesced when the
+    /// warehouse coalesces).
     pub changes: Vec<Change>,
-    /// Index of the offending change within the batch, when the failure
+    /// Index of the offending change within the group, when the failure
     /// is attributable to a single change.
     pub change_index: Option<usize>,
     /// Why the batch was rejected.
     pub reason: String,
+}
+
+/// The warehouse's dead-letter store: rejected change groups awaiting
+/// operator inspection. Dereferences to a slice in rejection order; the
+/// groups of one rejected batch are surfaced deterministically, sorted by
+/// `(table, lsn)` regardless of the worker count that found the failure.
+#[derive(Debug, Default)]
+pub struct DeadLetterStore {
+    letters: Vec<DeadLetter>,
+}
+
+impl Deref for DeadLetterStore {
+    type Target = [DeadLetter];
+
+    fn deref(&self) -> &[DeadLetter] {
+        &self.letters
+    }
+}
+
+impl DeadLetterStore {
+    /// The oldest dead letter without removing it.
+    pub fn peek(&self) -> Option<&DeadLetter> {
+        self.letters.first()
+    }
+
+    /// Removes and returns all accumulated dead letters (after the
+    /// operator has repaired or discarded them).
+    pub fn drain(&mut self) -> Vec<DeadLetter> {
+        std::mem::take(&mut self.letters)
+    }
+
+    fn extend_sorted(&mut self, mut letters: Vec<DeadLetter>) {
+        letters.sort_by_key(|l| (l.table, l.lsn));
+        self.letters.extend(letters);
+    }
+}
+
+/// Wall-clock and volume counters of the batch scheduler — the
+/// per-stage measurements behind the parallel-maintenance experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulerStats {
+    /// Batches committed successfully.
+    pub batches_applied: u64,
+    /// Changes submitted across all batches, before coalescing.
+    pub changes_submitted: u64,
+    /// Changes handed to the engines, after coalescing.
+    pub changes_applied: u64,
+    /// Nanoseconds spent coalescing.
+    pub coalesce_nanos: u64,
+    /// Nanoseconds of wall time in the prepare fan-out (all engines).
+    pub fanout_nanos: u64,
+    /// Nanoseconds appending to the change log.
+    pub wal_nanos: u64,
+    /// Nanoseconds committing prepared engines.
+    pub commit_nanos: u64,
+}
+
+/// Construction-time configuration of a [`Warehouse`]. Every knob that
+/// used to be a post-hoc `set_*` mutator lives here, so configuration is
+/// immutable once built and the scheduler can rely on it.
+///
+/// ```
+/// use md_relation::Catalog;
+/// use md_warehouse::Warehouse;
+///
+/// let cat = Catalog::new();
+/// let wh = Warehouse::builder().wal(false).workers(4).build(&cat);
+/// assert_eq!(wh.workers(), 4);
+/// assert!(wh.wal_bytes().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WarehouseBuilder {
+    wal: bool,
+    faults: FaultPlan,
+    targeted_updates: bool,
+    workers: usize,
+    coalesce: bool,
+}
+
+impl Default for WarehouseBuilder {
+    fn default() -> Self {
+        WarehouseBuilder {
+            wal: true,
+            faults: FaultPlan::default(),
+            targeted_updates: true,
+            workers: 1,
+            coalesce: true,
+        }
+    }
+}
+
+impl WarehouseBuilder {
+    /// A builder with the production defaults: WAL on, targeted updates
+    /// on, coalescing on, one worker, no faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables or disables the durable change log (ablation/bench knob).
+    pub fn wal(mut self, enabled: bool) -> Self {
+        self.wal = enabled;
+        self
+    }
+
+    /// Installs a fault-injection plan, shared with every engine the
+    /// warehouse registers. Testing only. The plan's interior is shared
+    /// across clones, so a test may keep a handle and arm points after
+    /// the warehouse is built.
+    pub fn fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables/disables the targeted dimension-update fast path (the
+    /// `dim_update_ablation` knob; enabled by default).
+    pub fn targeted_updates(mut self, enabled: bool) -> Self {
+        self.targeted_updates = enabled;
+        self
+    }
+
+    /// Number of worker threads the scheduler fans prepare work out to
+    /// (clamped to at least 1). Engines are partitioned across workers;
+    /// with one worker the fan-out runs inline on the caller's thread.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables/disables per-table change coalescing before fan-out
+    /// (enabled by default; the ablation knob of the parallel bench).
+    pub fn coalesce(mut self, enabled: bool) -> Self {
+        self.coalesce = enabled;
+        self
+    }
+
+    /// Builds an empty warehouse over the source catalog.
+    pub fn build(self, catalog: &Catalog) -> Warehouse {
+        Warehouse {
+            catalog: catalog.clone(),
+            engines: BTreeMap::new(),
+            table_seq: BTreeMap::new(),
+            wal: if self.wal { Some(Wal::new()) } else { None },
+            dead_letters: DeadLetterStore::default(),
+            sched: SchedulerStats::default(),
+            config: self,
+        }
+    }
+
+    /// Rebuilds a warehouse from a [`Warehouse::save`] image over the same
+    /// catalog, under this configuration. View definitions are re-parsed
+    /// and re-derived; each engine's plan fingerprint guards against
+    /// catalog or contract drift since the snapshot was taken.
+    pub fn restore(self, catalog: &Catalog, bytes: &[u8]) -> Result<Warehouse> {
+        let mut d = Decoder::new(bytes);
+        let header = d.take_str().map_err(WarehouseError::from)?;
+        if header != "MDWH2" {
+            return Err(WarehouseError::Maintain(MaintainError::InvariantViolation(
+                format!("not a readable warehouse image (header '{header}', expected 'MDWH2')"),
+            )));
+        }
+        let mut wh = self.build(catalog);
+        let n_seq = d.take_u32().map_err(WarehouseError::from)?;
+        for _ in 0..n_seq {
+            let table = TableId(d.take_u32().map_err(WarehouseError::from)? as usize);
+            let seq = d.take_u64().map_err(WarehouseError::from)?;
+            wh.table_seq.insert(table, seq);
+        }
+        let n = d.take_u32().map_err(WarehouseError::from)?;
+        for _ in 0..n {
+            let name = d.take_str().map_err(WarehouseError::from)?;
+            let sql = d.take_str().map_err(WarehouseError::from)?;
+            let len = d.take_u32().map_err(WarehouseError::from)? as usize;
+            let mut image = Vec::with_capacity(len.min(d.remaining()));
+            for _ in 0..len {
+                image.push(d.take_u8().map_err(WarehouseError::from)?);
+            }
+            let view = parse_view(&sql, catalog, &name)?;
+            let plan = derive(&view, catalog)?;
+            let mut engine = MaintenanceEngine::restore(plan, catalog, &image)?;
+            engine.set_fault_plan(wh.config.faults.clone());
+            engine.set_targeted_updates(wh.config.targeted_updates);
+            wh.engines.insert(name, engine);
+        }
+        if !d.is_exhausted() {
+            return Err(WarehouseError::Maintain(MaintainError::InvariantViolation(
+                format!("warehouse image has {} trailing bytes", d.remaining()),
+            )));
+        }
+        Ok(wh)
+    }
+
+    /// Crash recovery under this configuration: restores the latest
+    /// [`Warehouse::save`] image and replays the change-log suffix it has
+    /// not seen — every logged batch whose LSN exceeds the corresponding
+    /// engine's committed mark. Replay is idempotent (committed batches
+    /// are skipped per engine), tolerates a torn tail write in the log,
+    /// and routes any batch that no longer applies to the dead-letter
+    /// store rather than aborting, so a recovered warehouse always comes
+    /// up serving.
+    pub fn recover(
+        self,
+        catalog: &Catalog,
+        snapshot: &[u8],
+        wal_bytes: &[u8],
+    ) -> Result<Warehouse> {
+        let keep_wal = self.wal;
+        let mut wh = self.restore(catalog, snapshot)?;
+        let (records, _) = Wal::replay(wal_bytes)?;
+        for rec in records {
+            let seq = wh.table_seq.entry(rec.table).or_insert(0);
+            *seq = (*seq).max(rec.lsn);
+            let names: Vec<String> = wh
+                .engines
+                .iter()
+                .filter(|(_, e)| e.plan().view.tables.contains(&rec.table))
+                .map(|(n, _)| n.clone())
+                .collect();
+            let mut failure: Option<MaintainError> = None;
+            for name in &names {
+                let engine = wh.engines.get_mut(name).expect("listed above");
+                if let Err(e) = engine.apply_at(rec.table, &rec.changes, rec.lsn) {
+                    failure = Some(e);
+                    break;
+                }
+            }
+            if let Some(e) = failure {
+                // Engines that already replayed this record keep it (each
+                // failed engine rolled itself back); the batch goes to
+                // the dead-letter store for the operator.
+                let change_index = match &e {
+                    MaintainError::Rejected { change_index, .. } => *change_index,
+                    _ => None,
+                };
+                wh.dead_letters.extend_sorted(vec![DeadLetter {
+                    table: rec.table,
+                    lsn: rec.lsn,
+                    changes: rec.changes,
+                    change_index,
+                    reason: format!("replay of logged batch lsn {} failed: {e}", rec.lsn),
+                }]);
+            }
+        }
+        // Adopt the surviving log so new batches append after its valid
+        // prefix (any torn tail is truncated on the next append).
+        wh.wal = if keep_wal {
+            Some(Wal::open(wal_bytes.to_vec())?)
+        } else {
+            None
+        };
+        Ok(wh)
+    }
 }
 
 /// A data warehouse maintaining one or more GPSJ summary views over
@@ -93,35 +356,32 @@ pub struct Warehouse {
     /// `n+1` of a table gets LSN `table_seq[t] + 1`.
     table_seq: BTreeMap<TableId, u64>,
     /// Durable change log (enabled by default; see
-    /// [`Warehouse::set_wal_enabled`]).
+    /// [`WarehouseBuilder::wal`]).
     wal: Option<Wal>,
-    /// Rejected batches, in rejection order.
-    dead_letters: Vec<DeadLetter>,
-    /// Fault-injection hooks (disarmed in production).
-    faults: FaultPlan,
+    /// Rejected change groups, in rejection order.
+    dead_letters: DeadLetterStore,
+    /// Scheduler counters.
+    sched: SchedulerStats,
+    /// Immutable construction-time configuration.
+    config: WarehouseBuilder,
 }
 
 impl Warehouse {
-    /// Creates an empty warehouse over the source catalog.
+    /// Creates an empty warehouse over the source catalog with the
+    /// default configuration (shorthand for `Warehouse::builder()
+    /// .build(catalog)`).
     pub fn new(catalog: &Catalog) -> Self {
-        Warehouse {
-            catalog: catalog.clone(),
-            engines: BTreeMap::new(),
-            table_seq: BTreeMap::new(),
-            wal: Some(Wal::new()),
-            dead_letters: Vec::new(),
-            faults: FaultPlan::default(),
-        }
+        Warehouse::builder().build(catalog)
     }
 
-    /// Enables or disables the durable change log. Disabling drops the
-    /// log (ablation/bench knob); re-enabling starts an empty one.
-    pub fn set_wal_enabled(&mut self, enabled: bool) {
-        match (enabled, self.wal.is_some()) {
-            (true, false) => self.wal = Some(Wal::new()),
-            (false, true) => self.wal = None,
-            _ => {}
-        }
+    /// A [`WarehouseBuilder`] with the production defaults.
+    pub fn builder() -> WarehouseBuilder {
+        WarehouseBuilder::default()
+    }
+
+    /// The configured worker count of the scheduler.
+    pub fn workers(&self) -> usize {
+        self.config.workers
     }
 
     /// The change log's current byte image, when logging is enabled. This
@@ -132,24 +392,26 @@ impl Warehouse {
         self.wal.as_ref().map(|w| w.bytes())
     }
 
-    /// Installs a fault-injection plan, shared with every registered
-    /// engine. Testing only.
-    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
-        for engine in self.engines.values_mut() {
-            engine.set_fault_plan(faults.clone());
-        }
-        self.faults = faults;
-    }
-
-    /// The rejected batches kept for inspection, in rejection order.
-    pub fn dead_letters(&self) -> &[DeadLetter] {
+    /// The rejected change groups kept for inspection, in rejection order.
+    pub fn dead_letters(&self) -> &DeadLetterStore {
         &self.dead_letters
     }
 
-    /// Removes and returns the accumulated dead letters (after the
-    /// operator has repaired or discarded them).
+    /// Mutable access to the dead-letter store, for
+    /// [`DeadLetterStore::drain`].
+    pub fn dead_letters_mut(&mut self) -> &mut DeadLetterStore {
+        &mut self.dead_letters
+    }
+
+    /// Removes and returns the accumulated dead letters.
+    #[deprecated(note = "use `dead_letters_mut().drain()`")]
     pub fn take_dead_letters(&mut self) -> Vec<DeadLetter> {
-        std::mem::take(&mut self.dead_letters)
+        self.dead_letters.drain()
+    }
+
+    /// Scheduler counters: batch/change volumes and per-stage wall time.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.sched
     }
 
     /// The highest committed batch sequence number for `table`.
@@ -184,7 +446,8 @@ impl Warehouse {
         }
         let plan = derive(&view, &self.catalog)?;
         let mut engine = MaintenanceEngine::new(plan, &self.catalog)?;
-        engine.set_fault_plan(self.faults.clone());
+        engine.set_fault_plan(self.config.faults.clone());
+        engine.set_targeted_updates(self.config.targeted_updates);
         engine.initial_load(db)?;
         // The initial load already reflects every committed batch, so
         // align the new engine with the warehouse's sequence numbers —
@@ -204,107 +467,229 @@ impl Warehouse {
             .ok_or_else(|| WarehouseError::UnknownSummary(name.to_owned()))
     }
 
-    /// Applies a batch of source changes on `table` to every summary —
-    /// with no source access.
-    ///
-    /// All-or-nothing across the whole warehouse: every affected engine
-    /// first *prepares* the batch; only when all succeed is the batch
-    /// appended to the change log and committed everywhere under one
-    /// per-table LSN. Any failure rolls every engine back to its
-    /// pre-batch state, records the batch in the dead-letter store
-    /// (naming the offending change and reason), and returns the error —
-    /// the warehouse keeps serving its last consistent state.
+    /// Applies a batch of source changes on one table — the legacy
+    /// single-table entry point, now a thin wrapper over
+    /// [`Warehouse::apply_batch`].
+    #[deprecated(note = "use `apply_batch` with a `ChangeBatch`")]
     pub fn apply(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
-        match self.try_apply(table, changes) {
-            Ok(()) => Ok(()),
+        self.apply_batch(&ChangeBatch::single(table, changes.to_vec()))
+    }
+
+    /// Applies one multi-table [`ChangeBatch`] to every summary — with no
+    /// source access. This is the single ingestion entry point.
+    ///
+    /// The scheduler first coalesces each per-table group to its net
+    /// effect (unless disabled via [`WarehouseBuilder::coalesce`]), then
+    /// fans the prepared work out across the summary engines — on scoped
+    /// worker threads when built with [`WarehouseBuilder::workers`] > 1 —
+    /// and finally appends the whole batch to the change log and commits
+    /// it everywhere, one LSN per table, at a single append/commit point.
+    ///
+    /// All-or-nothing across the whole warehouse: any failure rolls every
+    /// engine back to its pre-batch state, records each of the batch's
+    /// groups in the dead-letter store (sorted by `(table, LSN)`, with
+    /// the offending change named on the group that caused it), and
+    /// returns the first failure in engine-name order — deterministic
+    /// regardless of the worker count. The warehouse keeps serving its
+    /// last consistent state.
+    pub fn apply_batch(&mut self, batch: &ChangeBatch) -> Result<()> {
+        let started = Instant::now();
+        let work = if self.config.coalesce {
+            batch.coalesced()
+        } else {
+            batch.clone()
+        };
+        self.sched.coalesce_nanos += started.elapsed().as_nanos() as u64;
+        self.sched.changes_submitted += batch.change_count() as u64;
+        self.sched.changes_applied += work.change_count() as u64;
+
+        match self.try_apply_batch(&work) {
+            Ok(()) => {
+                self.sched.batches_applied += 1;
+                Ok(())
+            }
             Err(e) => {
-                let change_index = match &e {
-                    WarehouseError::Maintain(MaintainError::Rejected { change_index, .. }) => {
-                        *change_index
-                    }
-                    _ => None,
+                let (fail_table, change_index) = match &e {
+                    WarehouseError::Maintain(MaintainError::Rejected {
+                        table,
+                        change_index,
+                        ..
+                    }) => (Some(table.clone()), *change_index),
+                    _ => (None, None),
                 };
-                self.dead_letters.push(DeadLetter {
-                    table,
-                    changes: changes.to_vec(),
-                    change_index,
-                    reason: e.to_string(),
-                });
+                let letters: Vec<DeadLetter> = work
+                    .groups()
+                    .iter()
+                    .map(|(table, changes)| {
+                        let name = self
+                            .catalog
+                            .def(*table)
+                            .map(|d| d.name.clone())
+                            .unwrap_or_default();
+                        DeadLetter {
+                            table: *table,
+                            lsn: self.table_seq(*table) + 1,
+                            changes: changes.clone(),
+                            change_index: if Some(&name) == fail_table.as_ref() {
+                                change_index
+                            } else {
+                                None
+                            },
+                            reason: e.to_string(),
+                        }
+                    })
+                    .collect();
+                self.dead_letters.extend_sorted(letters);
                 Err(e)
             }
         }
     }
 
-    fn try_apply(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
-        self.faults.hit("warehouse.apply.begin")?;
-        let lsn = self.table_seq(table) + 1;
-        let names: Vec<String> = self
-            .engines
+    fn try_apply_batch(&mut self, work: &ChangeBatch) -> Result<()> {
+        self.config.faults.hit("warehouse.apply.begin")?;
+        let groups = work.groups();
+        let lsns: Vec<(TableId, u64)> = groups
             .iter()
-            .filter(|(_, e)| e.plan().view.tables.contains(&table))
-            .map(|(n, _)| n.clone())
+            .map(|(t, _)| (*t, self.table_seq(*t) + 1))
             .collect();
 
-        // Phase 1: prepare everywhere. The first failure rolls back every
-        // engine prepared so far; nothing was logged or committed.
-        let mut prepared = 0usize;
-        let mut failure = None;
-        for name in &names {
-            let engine = self.engines.get_mut(name).expect("listed above");
-            match engine.apply_prepared(table, changes) {
-                Ok(()) => prepared += 1,
+        // Phase 1: prepare every affected engine, partitioned across the
+        // configured workers. Every engine runs its whole share — even
+        // after another engine fails — so the set of discovered failures
+        // (and therefore the dead letters and the returned error) does
+        // not depend on thread timing. Results come back in engine-name
+        // order.
+        let fanout_started = Instant::now();
+        // One engine's share of the batch: its name, exclusive access to
+        // it, and the change groups its view depends on.
+        type Assignment<'a> = (
+            String,
+            &'a mut MaintenanceEngine,
+            Vec<(TableId, &'a [Change])>,
+        );
+        let outcome: Vec<(String, std::result::Result<(), MaintainError>)> = {
+            let mut assignments: Vec<Assignment<'_>> = self
+                .engines
+                .iter_mut()
+                .filter_map(|(name, engine)| {
+                    let eng_groups: Vec<(TableId, &[Change])> = groups
+                        .iter()
+                        .filter(|(t, _)| engine.plan().view.tables.contains(t))
+                        .map(|(t, c)| (*t, c.as_slice()))
+                        .collect();
+                    if eng_groups.is_empty() {
+                        None
+                    } else {
+                        Some((name.clone(), engine, eng_groups))
+                    }
+                })
+                .collect();
+            let workers = self.config.workers.min(assignments.len()).max(1);
+            if workers <= 1 {
+                assignments
+                    .iter_mut()
+                    .map(|(name, engine, eng_groups)| {
+                        (name.clone(), engine.prepare_batch(eng_groups))
+                    })
+                    .collect()
+            } else {
+                let per_worker = assignments.len().div_ceil(workers);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = assignments
+                        .chunks_mut(per_worker)
+                        .map(|chunk| {
+                            s.spawn(move || {
+                                chunk
+                                    .iter_mut()
+                                    .map(|(name, engine, eng_groups)| {
+                                        (name.clone(), engine.prepare_batch(eng_groups))
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("maintenance worker panicked"))
+                        .collect()
+                })
+            }
+        };
+        self.sched.fanout_nanos += fanout_started.elapsed().as_nanos() as u64;
+
+        let mut prepared: Vec<String> = Vec::with_capacity(outcome.len());
+        let mut first_failure: Option<MaintainError> = None;
+        for (name, result) in outcome {
+            match result {
+                Ok(()) => prepared.push(name),
                 Err(e) => {
-                    failure = Some(e);
-                    break;
+                    if first_failure.is_none() {
+                        first_failure = Some(e);
+                    }
                 }
             }
         }
-        if let Some(e) = failure {
-            self.rollback_prepared(&names[..prepared]);
+        if let Some(e) = first_failure {
+            // Failed engines already rolled themselves back.
+            self.rollback_prepared(&prepared);
             return Err(e.into());
         }
 
-        // Log the batch durably before committing it anywhere.
+        // Log the whole batch durably — one frame per table, all at this
+        // single append point — before committing it anywhere.
         if self.wal.is_some() {
             // Injection point: a crash mid-append leaves a torn frame
             // that recovery must treat as absent.
-            if let Err(e) = self.faults.hit("warehouse.wal.torn") {
-                self.wal
-                    .as_mut()
-                    .expect("checked")
-                    .append_torn(table, lsn, changes);
-                self.rollback_prepared(&names);
+            if let Err(e) = self.config.faults.hit("warehouse.wal.torn") {
+                if let (Some((table, changes)), Some((_, lsn))) = (groups.first(), lsns.first()) {
+                    self.wal
+                        .as_mut()
+                        .expect("checked")
+                        .append_torn(*table, *lsn, changes);
+                }
+                self.rollback_prepared(&prepared);
                 return Err(e.into());
             }
             // Injection point: a crash before any log bytes are written.
-            if let Err(e) = self.faults.hit("warehouse.wal.append") {
-                self.rollback_prepared(&names);
+            if let Err(e) = self.config.faults.hit("warehouse.wal.append") {
+                self.rollback_prepared(&prepared);
                 return Err(e.into());
             }
-            self.wal
-                .as_mut()
-                .expect("checked")
-                .append(table, lsn, changes);
+            let wal_started = Instant::now();
+            let wal = self.wal.as_mut().expect("checked");
+            for ((table, changes), (_, lsn)) in groups.iter().zip(&lsns) {
+                wal.append(*table, *lsn, changes);
+            }
+            self.sched.wal_nanos += wal_started.elapsed().as_nanos() as u64;
         }
 
         // Phase 2: commit everywhere. Infallible in production (the
         // injection point simulates a crash between the log append and
         // the in-memory commit — recovery replays the logged batch).
-        if let Err(e) = self.faults.hit("warehouse.apply.commit") {
-            self.rollback_prepared(&names);
+        if let Err(e) = self.config.faults.hit("warehouse.apply.commit") {
+            self.rollback_prepared(&prepared);
             if self.wal.is_some() {
-                // The LSN is burnt: the log already holds this batch.
-                self.table_seq.insert(table, lsn);
+                // The LSNs are burnt: the log already holds this batch.
+                for (table, lsn) in &lsns {
+                    self.table_seq.insert(*table, *lsn);
+                }
             }
             return Err(e.into());
         }
-        for name in &names {
-            self.engines
-                .get_mut(name)
-                .expect("listed above")
-                .commit_prepared(table, lsn);
+        let commit_started = Instant::now();
+        for name in &prepared {
+            let engine = self.engines.get_mut(name).expect("listed above");
+            let eng_lsns: Vec<(TableId, u64)> = lsns
+                .iter()
+                .filter(|(t, _)| engine.plan().view.tables.contains(t))
+                .copied()
+                .collect();
+            engine.commit_batch(&eng_lsns);
         }
-        self.table_seq.insert(table, lsn);
+        for (table, lsn) in &lsns {
+            self.table_seq.insert(*table, *lsn);
+        }
+        self.sched.commit_nanos += commit_started.elapsed().as_nanos() as u64;
         Ok(())
     }
 
@@ -350,7 +735,8 @@ impl Warehouse {
         Ok(bag.sorted_rows().into_iter().map(|(r, _)| r).collect())
     }
 
-    /// Maintenance work counters of a summary.
+    /// Maintenance work counters of a summary (including its per-stage
+    /// prepare/commit wall time).
     pub fn stats(&self, name: &str) -> Result<MaintStats> {
         Ok(self.engine(name)?.stats())
     }
@@ -428,7 +814,7 @@ impl Warehouse {
     /// survive restarts without ever contacting the sources, which is the
     /// paper's operating assumption.
     pub fn save(&self) -> Result<Vec<u8>> {
-        self.faults.hit("warehouse.save")?;
+        self.config.faults.hit("warehouse.save")?;
         let mut e = Encoder::new();
         e.put_str("MDWH2");
         // Per-table batch sequence numbers, so recovery knows where the
@@ -452,92 +838,19 @@ impl Warehouse {
     }
 
     /// Rebuilds a warehouse from a [`Warehouse::save`] image over the same
-    /// catalog. View definitions are re-parsed and re-derived; each
-    /// engine's plan fingerprint guards against catalog or contract drift
-    /// since the snapshot was taken.
+    /// catalog, with the default configuration. Use
+    /// [`WarehouseBuilder::restore`] to restore under explicit options.
     pub fn restore(catalog: &Catalog, bytes: &[u8]) -> Result<Self> {
-        let mut d = Decoder::new(bytes);
-        let header = d.take_str().map_err(WarehouseError::from)?;
-        if header != "MDWH2" {
-            return Err(WarehouseError::Maintain(MaintainError::InvariantViolation(
-                format!("not a readable warehouse image (header '{header}', expected 'MDWH2')"),
-            )));
-        }
-        let mut wh = Warehouse::new(catalog);
-        let n_seq = d.take_u32().map_err(WarehouseError::from)?;
-        for _ in 0..n_seq {
-            let table = TableId(d.take_u32().map_err(WarehouseError::from)? as usize);
-            let seq = d.take_u64().map_err(WarehouseError::from)?;
-            wh.table_seq.insert(table, seq);
-        }
-        let n = d.take_u32().map_err(WarehouseError::from)?;
-        for _ in 0..n {
-            let name = d.take_str().map_err(WarehouseError::from)?;
-            let sql = d.take_str().map_err(WarehouseError::from)?;
-            let len = d.take_u32().map_err(WarehouseError::from)? as usize;
-            let mut image = Vec::with_capacity(len.min(d.remaining()));
-            for _ in 0..len {
-                image.push(d.take_u8().map_err(WarehouseError::from)?);
-            }
-            let view = parse_view(&sql, catalog, &name)?;
-            let plan = derive(&view, catalog)?;
-            let engine = MaintenanceEngine::restore(plan, catalog, &image)?;
-            wh.engines.insert(name, engine);
-        }
-        if !d.is_exhausted() {
-            return Err(WarehouseError::Maintain(MaintainError::InvariantViolation(
-                format!("warehouse image has {} trailing bytes", d.remaining()),
-            )));
-        }
-        Ok(wh)
+        Warehouse::builder().restore(catalog, bytes)
     }
 
-    /// Crash recovery: restores the latest [`Warehouse::save`] image and
-    /// replays the change-log suffix it has not seen — every logged batch
-    /// whose LSN exceeds the corresponding engine's committed mark.
-    /// Replay is idempotent (committed batches are skipped per engine),
-    /// tolerates a torn tail write in the log, and routes any batch that
-    /// no longer applies to the dead-letter store rather than aborting,
-    /// so a recovered warehouse always comes up serving.
+    /// Crash recovery with the default configuration: restores the latest
+    /// [`Warehouse::save`] image and replays the change-log suffix it has
+    /// not seen. Use [`WarehouseBuilder::recover`] to recover under
+    /// explicit options. See [`WarehouseBuilder::recover`] for the
+    /// replay semantics.
     pub fn recover(catalog: &Catalog, snapshot: &[u8], wal_bytes: &[u8]) -> Result<Self> {
-        let mut wh = Warehouse::restore(catalog, snapshot)?;
-        let (records, _) = Wal::replay(wal_bytes)?;
-        for rec in records {
-            let seq = wh.table_seq.entry(rec.table).or_insert(0);
-            *seq = (*seq).max(rec.lsn);
-            let names: Vec<String> = wh
-                .engines
-                .iter()
-                .filter(|(_, e)| e.plan().view.tables.contains(&rec.table))
-                .map(|(n, _)| n.clone())
-                .collect();
-            let mut failure: Option<MaintainError> = None;
-            for name in &names {
-                let engine = wh.engines.get_mut(name).expect("listed above");
-                if let Err(e) = engine.apply_at(rec.table, &rec.changes, rec.lsn) {
-                    failure = Some(e);
-                    break;
-                }
-            }
-            if let Some(e) = failure {
-                // Engines that already replayed this record keep it (each
-                // failed engine rolled itself back); the batch goes to
-                // the dead-letter store for the operator.
-                wh.dead_letters.push(DeadLetter {
-                    table: rec.table,
-                    changes: rec.changes,
-                    change_index: match &e {
-                        MaintainError::Rejected { change_index, .. } => *change_index,
-                        _ => None,
-                    },
-                    reason: format!("replay of logged batch lsn {} failed: {e}", rec.lsn),
-                });
-            }
-        }
-        // Adopt the surviving log so new batches append after its valid
-        // prefix (any torn tail is truncated on the next append).
-        wh.wal = Some(Wal::open(wal_bytes.to_vec())?);
-        Ok(wh)
+        Warehouse::builder().recover(catalog, snapshot, wal_bytes)
     }
 
     /// A human-readable explanation of one summary's derivation: the join
@@ -604,10 +917,12 @@ mod tests {
         // Stream changes through.
         let changes = sale_changes(&mut db, &schema, 100, UpdateMix::balanced(), 3);
         for c in &changes {
-            wh.apply(schema.sale, std::slice::from_ref(c)).unwrap();
+            wh.apply_batch(&ChangeBatch::single(schema.sale, vec![c.clone()]))
+                .unwrap();
         }
         let brand_changes = product_brand_changes(&mut db, &schema, 3, 4);
-        wh.apply(schema.product, &brand_changes).unwrap();
+        wh.apply_batch(&ChangeBatch::single(schema.product, brand_changes))
+            .unwrap();
         assert!(wh.verify_all(&db).unwrap());
     }
 
@@ -625,11 +940,96 @@ mod tests {
 
         let changes = sale_changes(&mut db, &schema, 60, UpdateMix::balanced(), 5);
         for c in &changes {
-            wh.apply(schema.sale, std::slice::from_ref(c)).unwrap();
+            wh.apply_batch(&ChangeBatch::single(schema.sale, vec![c.clone()]))
+                .unwrap();
         }
         assert!(wh.verify_all(&db).unwrap());
         // daily_product's fact auxiliary view is eliminated.
         assert!(wh.plan("daily_product").unwrap().root_omitted());
+    }
+
+    #[test]
+    fn legacy_apply_wrapper_still_works() {
+        #![allow(deprecated)]
+        let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let mut wh = Warehouse::new(db.catalog());
+        wh.add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db)
+            .unwrap();
+        let changes = sale_changes(&mut db, &schema, 20, UpdateMix::balanced(), 9);
+        wh.apply(schema.sale, &changes).unwrap();
+        assert!(wh.verify_all(&db).unwrap());
+        assert_eq!(wh.table_seq(schema.sale), 1);
+    }
+
+    #[test]
+    fn multi_table_batch_commits_atomically() {
+        let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let mut wh = Warehouse::new(db.catalog());
+        wh.add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db)
+            .unwrap();
+        let mut batch = ChangeBatch::new();
+        batch.extend(
+            schema.sale,
+            sale_changes(&mut db, &schema, 10, UpdateMix::balanced(), 21),
+        );
+        batch.extend(
+            schema.product,
+            product_brand_changes(&mut db, &schema, 2, 22),
+        );
+        wh.apply_batch(&batch).unwrap();
+        assert!(wh.verify_all(&db).unwrap());
+        assert_eq!(wh.table_seq(schema.sale), 1);
+        assert_eq!(wh.table_seq(schema.product), 1);
+        // One WAL frame per table, appended at the single commit point.
+        let (records, _) = Wal::replay(wh.wal_bytes().unwrap()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].table, schema.sale);
+        assert_eq!(records[1].table, schema.product);
+    }
+
+    #[test]
+    fn builder_options_are_fixed_at_construction() {
+        let (db, _) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let wh = Warehouse::builder()
+            .wal(false)
+            .workers(4)
+            .build(db.catalog());
+        assert!(wh.wal_bytes().is_none());
+        assert_eq!(wh.workers(), 4);
+        // Worker counts clamp to at least one.
+        assert_eq!(
+            Warehouse::builder()
+                .workers(0)
+                .build(db.catalog())
+                .workers(),
+            1
+        );
+    }
+
+    #[test]
+    fn coalescing_is_observable_in_scheduler_stats() {
+        let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let mut wh = Warehouse::new(db.catalog());
+        wh.add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db)
+            .unwrap();
+        // A transient row: insert + delete annihilate under coalescing.
+        let next_id = db.table(schema.sale).len() as i64 + 1000;
+        let template = db.table(schema.sale).scan().next().unwrap().clone();
+        let mut values = template.values().to_vec();
+        values[0] = md_relation::Value::Int(next_id);
+        let row = md_relation::Row::from(values);
+        let ins = db.insert(schema.sale, row.clone()).unwrap();
+        let del = db.delete(schema.sale, &row.values()[0]).unwrap();
+        wh.apply_batch(&ChangeBatch::single(schema.sale, vec![ins, del]))
+            .unwrap();
+        let sched = wh.scheduler_stats();
+        assert_eq!(sched.changes_submitted, 2);
+        assert_eq!(sched.changes_applied, 0);
+        assert_eq!(sched.batches_applied, 1);
+        // The empty coalesced group still consumed the table's LSN.
+        assert_eq!(wh.table_seq(schema.sale), 1);
+        assert!(wh.verify_all(&db).unwrap());
+        assert_eq!(wh.stats("product_sales").unwrap().rows_processed, 0);
     }
 
     #[test]
@@ -696,7 +1096,8 @@ mod tests {
         let c = db
             .insert(schema.store, row![next_store, "x st", "city-x", "us", "m"])
             .unwrap();
-        wh.apply(schema.store, &[c]).unwrap();
+        wh.apply_batch(&ChangeBatch::single(schema.store, vec![c]))
+            .unwrap();
         assert!(wh.verify_all(&db).unwrap());
         assert_eq!(wh.stats("product_sales_max").unwrap().rows_processed, 0);
     }

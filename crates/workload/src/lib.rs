@@ -28,4 +28,6 @@ pub mod views;
 pub use fuzz::{random_setup, RandomSetup};
 pub use retail::{generate_retail, retail_catalog, Contracts, RetailParams, RetailSchema};
 pub use snowflake::{generate_snowflake, snowflake_catalog, SnowflakeParams, SnowflakeSchema};
-pub use updates::{product_brand_changes, sale_changes, time_inserts, UpdateMix};
+pub use updates::{
+    hot_sale_batches, product_brand_changes, sale_changes, time_inserts, HotBatchParams, UpdateMix,
+};

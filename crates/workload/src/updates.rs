@@ -157,10 +157,95 @@ pub fn time_inserts(db: &mut Database, schema: &RetailSchema, n: usize) -> Vec<C
     changes
 }
 
+/// Parameters of [`hot_sale_batches`].
+#[derive(Debug, Clone, Copy)]
+pub struct HotBatchParams {
+    /// Number of batches to generate.
+    pub batches: usize,
+    /// Distinct sale rows touched per batch.
+    pub hot_rows: usize,
+    /// Successive repricings of each hot row within one batch.
+    pub touches: usize,
+    /// Rows inserted and deleted again within the same batch.
+    pub transient_pairs: usize,
+}
+
+/// Generates an update-heavy, hot-row batch schedule against the `sale`
+/// fact: each batch reprices `hot_rows` rows `touches` times in a row
+/// (a staging area batching a day of trickle-feed activity — the net
+/// effect per row is a single update) and creates `transient_pairs`
+/// rows that die within the batch. The shape a coalescing maintenance
+/// pipeline collapses by ~`touches`×; every change is applied to `db`
+/// so the stream stays consistent with the sources.
+pub fn hot_sale_batches(
+    db: &mut Database,
+    schema: &RetailSchema,
+    params: HotBatchParams,
+) -> Vec<Vec<Change>> {
+    let live: Vec<i64> = db
+        .table(schema.sale)
+        .scan()
+        .map(|r| r[0].as_int().expect("sale.id is Int"))
+        .collect();
+    assert!(!live.is_empty(), "need loaded sale rows to reprice");
+    let mut next_id = live.iter().copied().max().unwrap_or(0) + 1;
+    let mut schedule = Vec::with_capacity(params.batches);
+    for b in 0..params.batches {
+        let mut changes = Vec::new();
+        for h in 0..params.hot_rows {
+            let id = live[(b * 31 + h * 7) % live.len()];
+            for touch in 0..params.touches {
+                let old = db
+                    .table(schema.sale)
+                    .get(&Value::Int(id))
+                    .expect("live row")
+                    .clone();
+                let mut vals = old.into_values();
+                vals[4] = Value::Double(((b + h + touch) % 97) as f64 * 0.5 + 1.0);
+                changes.push(
+                    db.update(schema.sale, &Value::Int(id), md_relation::Row::new(vals))
+                        .expect("price is updatable"),
+                );
+            }
+        }
+        for p in 0..params.transient_pairs {
+            let id = next_id;
+            next_id += 1;
+            let fresh = row![id, 1 + (p as i64 % 5), 1, 1, 9.75];
+            changes.push(db.insert(schema.sale, fresh).expect("fresh id"));
+            changes.push(
+                db.delete(schema.sale, &Value::Int(id))
+                    .expect("just inserted"),
+            );
+        }
+        schedule.push(changes);
+    }
+    schedule
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::retail::{generate_retail, Contracts, RetailParams};
+
+    #[test]
+    fn hot_batches_have_the_advertised_shape() {
+        let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let rows_before = db.table(schema.sale).len();
+        let params = HotBatchParams {
+            batches: 3,
+            hot_rows: 5,
+            touches: 4,
+            transient_pairs: 2,
+        };
+        let schedule = hot_sale_batches(&mut db, &schema, params);
+        assert_eq!(schedule.len(), 3);
+        for batch in &schedule {
+            assert_eq!(batch.len(), 5 * 4 + 2 * 2);
+        }
+        // Transient rows died within their batch: net row count unchanged.
+        assert_eq!(db.table(schema.sale).len(), rows_before);
+    }
 
     #[test]
     fn sale_stream_respects_mix_and_ri() {

@@ -10,6 +10,7 @@
 //! Run with: `cargo run --example append_only_archive`
 
 use md_relation::{row, Catalog, DataType, Database, Schema, TableId};
+use md_warehouse::ChangeBatch;
 use md_warehouse::Warehouse;
 
 const SENSOR_RANGE: &str = "\
@@ -88,7 +89,7 @@ fn main() {
                     .expect("fresh"),
             );
         }
-        wh.apply(measurement, &changes)
+        wh.apply_batch(&ChangeBatch::single(measurement, changes.to_vec()))
             .expect("maintenance succeeds");
         assert!(wh.verify_all(&db).expect("verification runs"));
 

@@ -11,6 +11,7 @@
 //! Run with: `cargo run --example minmax_dashboard`
 
 use md_relation::Value;
+use md_warehouse::ChangeBatch;
 use md_warehouse::Warehouse;
 use md_workload::{generate_retail, views, Contracts, RetailParams};
 
@@ -52,7 +53,7 @@ fn main() {
 
     // Delete the extremum at the source and mirror the change.
     let change = db.delete(schema.sale, &Value::Int(max_id)).expect("exists");
-    wh.apply(schema.sale, &[change])
+    wh.apply_batch(&ChangeBatch::single(schema.sale, vec![change]))
         .expect("maintenance succeeds");
 
     println!("after delete:  {}", row_of(&wh, productid));
@@ -77,7 +78,7 @@ fn main() {
             md_relation::row![new_id, 1, productid, 1, 999.99],
         )
         .expect("fresh id");
-    wh.apply(schema.sale, &[change])
+    wh.apply_batch(&ChangeBatch::single(schema.sale, vec![change]))
         .expect("maintenance succeeds");
     println!("after insert of a 999.99 sale: {}", row_of(&wh, productid));
     assert_eq!(

@@ -8,6 +8,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use md_warehouse::ChangeBatch;
 use md_warehouse::Warehouse;
 use md_workload::{generate_retail, sale_changes, views, Contracts, RetailParams, UpdateMix};
 
@@ -39,7 +40,7 @@ fn main() {
     // --- Source changes, mirrored to the warehouse ----------------------
     let changes = sale_changes(&mut db, &schema, 500, UpdateMix::balanced(), 99);
     for c in &changes {
-        wh.apply(schema.sale, std::slice::from_ref(c))
+        wh.apply_batch(&ChangeBatch::single(schema.sale, vec![c.clone()]))
             .expect("maintenance succeeds");
     }
     println!(

@@ -12,6 +12,7 @@
 //! Run with: `cargo run --example snowflake_categories`
 
 use md_relation::Value;
+use md_warehouse::ChangeBatch;
 use md_warehouse::{parse_view, Warehouse};
 use md_workload::{generate_snowflake, SnowflakeParams};
 
@@ -59,13 +60,13 @@ GROUP BY product.id";
     let change = db
         .insert(schema.sale, md_relation::row![next_sale, 1, 1, 12.5])
         .expect("fresh id");
-    wh.apply(schema.sale, &[change])
+    wh.apply_batch(&ChangeBatch::single(schema.sale, vec![change]))
         .expect("maintenance succeeds");
 
     let change = db
         .delete(schema.sale, &Value::Int(next_sale))
         .expect("exists");
-    wh.apply(schema.sale, &[change])
+    wh.apply_batch(&ChangeBatch::single(schema.sale, vec![change]))
         .expect("maintenance succeeds");
 
     assert!(wh.verify_all(&db).expect("verification runs"));

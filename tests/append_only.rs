@@ -9,6 +9,7 @@
 use md_core::{derive, regime_of, ChangeRegime};
 use md_relation::{row, Catalog, DataType, Database, Schema, TableId, Value};
 use md_sql::parse_view;
+use md_warehouse::ChangeBatch;
 use md_warehouse::Warehouse;
 
 /// A star catalog with every table declared insert-only.
@@ -143,10 +144,12 @@ fn append_only_maintenance_of_min_max_without_any_fact_detail() {
         db.insert(sale, row![14, 1, 99.0]).unwrap(),
         db.insert(product, row![3, "kilo"]).unwrap(),
     ];
-    wh.apply(sale, &changes[..2]).unwrap();
-    wh.apply(product, &changes[2..]).unwrap();
+    wh.apply_batch(&ChangeBatch::single(sale, changes[..2].to_vec()))
+        .unwrap();
+    wh.apply_batch(&ChangeBatch::single(product, changes[2..].to_vec()))
+        .unwrap();
     let c = db.insert(sale, row![15, 3, 1.0]).unwrap();
-    wh.apply(sale, &[c]).unwrap();
+    wh.apply_batch(&ChangeBatch::single(sale, vec![c])).unwrap();
     assert!(wh.verify_all(&db).unwrap());
     let rows = wh.summary_rows("price_range").unwrap();
     assert!(rows.contains(&row!["acme", 0.5, 99.0, 4]));
@@ -179,6 +182,8 @@ fn engine_rejects_contract_violations() {
     wh.add_summary_sql(MINMAX_VIEW, &db).unwrap();
     // Hand-craft a delete that the (simulated) source could never emit.
     let bogus = md_relation::Change::Delete(row![10, 1, 5.0]);
-    let err = wh.apply(sale, &[bogus]).unwrap_err();
+    let err = wh
+        .apply_batch(&ChangeBatch::single(sale, vec![bogus]))
+        .unwrap_err();
     assert!(err.to_string().contains("append-only"));
 }

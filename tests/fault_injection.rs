@@ -9,6 +9,7 @@ use md_core::derive;
 use md_maintain::{FaultPlan, MaintenanceEngine};
 use md_relation::{Change, Database, TableId};
 use md_sql::parse_view;
+use md_warehouse::ChangeBatch;
 use md_warehouse::Warehouse;
 use md_workload::{
     generate_retail, product_brand_changes, sale_changes, time_inserts, views, Contracts,
@@ -23,15 +24,21 @@ const VIEWS: [&str; 3] = [
 const VIEW_NAMES: [&str; 3] = ["product_sales", "product_sales_max", "daily_product"];
 
 /// A faulty warehouse and a fault-free oracle over the same initial data.
-fn setup() -> (Database, RetailSchema, Warehouse, Warehouse) {
+/// The fault plan's interior is shared, so the caller's handle can arm
+/// injection points after the warehouse is built.
+fn setup_with(faults: FaultPlan) -> (Database, RetailSchema, Warehouse, Warehouse) {
     let (db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
-    let mut wh = Warehouse::new(db.catalog());
+    let mut wh = Warehouse::builder().fault_plan(faults).build(db.catalog());
     let mut oracle = Warehouse::new(db.catalog());
     for sql in VIEWS {
         wh.add_summary_sql(sql, &db).unwrap();
         oracle.add_summary_sql(sql, &db).unwrap();
     }
     (db, schema, wh, oracle)
+}
+
+fn setup() -> (Database, RetailSchema, Warehouse, Warehouse) {
+    setup_with(FaultPlan::default())
 }
 
 fn assert_same_summaries(a: &Warehouse, b: &Warehouse, ctx: &str) {
@@ -84,7 +91,8 @@ fn mixed_batches(db: &mut Database, schema: &RetailSchema) -> Vec<(TableId, Vec<
 /// log, and require the recovered warehouse to equal the oracle — then to
 /// keep serving and maintaining.
 fn crash_and_recover_at(point: &str, nth: u64) {
-    let (mut db, schema, mut wh, mut oracle) = setup();
+    let mut plan = FaultPlan::recording();
+    let (mut db, schema, mut wh, mut oracle) = setup_with(plan.clone());
 
     // Committed pre-crash traffic, then the "last periodic snapshot".
     for (t, c) in [
@@ -94,19 +102,23 @@ fn crash_and_recover_at(point: &str, nth: u64) {
         ),
         (schema.time, time_inserts(&mut db, &schema, 2)),
     ] {
-        wh.apply(t, &c).unwrap();
-        oracle.apply(t, &c).unwrap();
+        wh.apply_batch(&ChangeBatch::single(t, c.to_vec())).unwrap();
+        oracle
+            .apply_batch(&ChangeBatch::single(t, c.to_vec()))
+            .unwrap();
     }
     let snapshot = wh.save().unwrap();
 
-    let mut plan = FaultPlan::recording();
+    // Arm through the retained handle — configuration itself is immutable
+    // after build, but the shared plan interior can still be armed.
     plan.arm(point, nth);
-    wh.set_fault_plan(plan);
 
     let mut fault_fired = false;
     for (t, c) in &mixed_batches(&mut db, &schema) {
-        match wh.apply(*t, c) {
-            Ok(()) => oracle.apply(*t, c).unwrap(),
+        match wh.apply_batch(&ChangeBatch::single(*t, c.to_vec())) {
+            Ok(()) => oracle
+                .apply_batch(&ChangeBatch::single(*t, c.to_vec()))
+                .unwrap(),
             Err(e) => {
                 assert!(
                     e.to_string().contains("injected fault"),
@@ -116,7 +128,9 @@ fn crash_and_recover_at(point: &str, nth: u64) {
                 if point == "warehouse.apply.commit" {
                     // The crash hit *after* the log append: the batch is
                     // durable and recovery will replay it.
-                    oracle.apply(*t, c).unwrap();
+                    oracle
+                        .apply_batch(&ChangeBatch::single(*t, c.to_vec()))
+                        .unwrap();
                 }
                 break;
             }
@@ -159,8 +173,12 @@ fn crash_and_recover_at(point: &str, nth: u64) {
 
     // And the recovered warehouse keeps serving and maintaining.
     let tail = sale_changes(&mut db, &schema, 10, UpdateMix::balanced(), 105);
-    recovered.apply(schema.sale, &tail).unwrap();
-    oracle.apply(schema.sale, &tail).unwrap();
+    recovered
+        .apply_batch(&ChangeBatch::single(schema.sale, tail.to_vec()))
+        .unwrap();
+    oracle
+        .apply_batch(&ChangeBatch::single(schema.sale, tail.to_vec()))
+        .unwrap();
     assert_same_summaries(
         &recovered,
         &oracle,
@@ -190,11 +208,11 @@ fn every_injection_point_recovers_to_the_oracle() {
 
 #[test]
 fn workload_traverses_every_injection_point() {
-    let (mut db, schema, mut wh, _) = setup();
     let plan = FaultPlan::recording();
-    wh.set_fault_plan(plan.clone());
+    let (mut db, schema, mut wh, _) = setup_with(plan.clone());
     for (t, c) in &mixed_batches(&mut db, &schema) {
-        wh.apply(*t, c).unwrap();
+        wh.apply_batch(&ChangeBatch::single(*t, c.to_vec()))
+            .unwrap();
     }
     wh.save().unwrap();
     let seen = plan.points_seen();
@@ -331,7 +349,9 @@ fn rejected_batches_are_dead_lettered_and_serving_continues() {
         Change::Insert(row![2, 1, 4.0]),
         Change::Delete(row![1, 1, 2.5]),
     ];
-    let err = wh.apply(sale, &bad).unwrap_err();
+    let err = wh
+        .apply_batch(&ChangeBatch::single(sale, bad.to_vec()))
+        .unwrap_err();
     assert!(err.to_string().contains("append-only"), "got: {err}");
 
     let letters = wh.dead_letters();
@@ -347,10 +367,11 @@ fn rejected_batches_are_dead_lettered_and_serving_continues() {
 
     // Serving and maintenance continue.
     let good = db.insert(sale, row![2, 1, 4.0]).unwrap();
-    wh.apply(sale, &[good]).unwrap();
+    wh.apply_batch(&ChangeBatch::single(sale, vec![good]))
+        .unwrap();
     assert!(wh.verify_all(&db).unwrap());
     assert_eq!(wh.table_seq(sale), seq_before + 1);
-    assert_eq!(wh.take_dead_letters().len(), 1);
+    assert_eq!(wh.dead_letters_mut().drain().len(), 1);
     assert!(wh.dead_letters().is_empty());
 }
 
@@ -362,8 +383,11 @@ fn recovery_skips_batches_the_snapshot_already_contains() {
 
     let batches = mixed_batches(&mut db, &schema);
     for (i, (t, c)) in batches.iter().enumerate() {
-        wh.apply(*t, c).unwrap();
-        oracle.apply(*t, c).unwrap();
+        wh.apply_batch(&ChangeBatch::single(*t, c.to_vec()))
+            .unwrap();
+        oracle
+            .apply_batch(&ChangeBatch::single(*t, c.to_vec()))
+            .unwrap();
         if i == 2 {
             // Periodic snapshot mid-stream; the log retains everything.
             let snapshot = wh.save().unwrap();

@@ -5,6 +5,7 @@
 
 use md_relation::{row, Value};
 use md_sql::{parse_view, view_to_sql};
+use md_warehouse::ChangeBatch;
 use md_warehouse::Warehouse;
 use md_workload::retail::{generate_retail, retail_catalog, Contracts, RetailParams};
 
@@ -98,7 +99,8 @@ fn groups_cross_the_threshold_both_ways() {
     let c = db
         .insert(schema.product, row![next_product, "fresh", "cat-x"])
         .unwrap();
-    wh.apply(schema.product, &[c]).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.product, vec![c]))
+        .unwrap();
     let next_sale = db
         .table(schema.sale)
         .scan()
@@ -110,7 +112,8 @@ fn groups_cross_the_threshold_both_ways() {
         let c = db
             .insert(schema.sale, row![next_sale + k, 1, next_product, 1, 9.0])
             .unwrap();
-        wh.apply(schema.sale, &[c]).unwrap();
+        wh.apply_batch(&ChangeBatch::single(schema.sale, vec![c]))
+            .unwrap();
     }
     // Two sales: group exists internally, hidden from the output.
     assert!(wh.verify_all(&db).unwrap());
@@ -121,7 +124,8 @@ fn groups_cross_the_threshold_both_ways() {
     let c = db
         .insert(schema.sale, row![next_sale + 2, 1, next_product, 1, 9.0])
         .unwrap();
-    wh.apply(schema.sale, &[c]).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.sale, vec![c]))
+        .unwrap();
     assert!(wh.verify_all(&db).unwrap());
     let visible = wh.summary_rows("hot_products").unwrap();
     assert!(visible
@@ -131,7 +135,8 @@ fn groups_cross_the_threshold_both_ways() {
     // Delete one sale: back under the threshold, hidden again — only
     // possible because the group stayed maintained internally.
     let c = db.delete(schema.sale, &Value::Int(next_sale)).unwrap();
-    wh.apply(schema.sale, &[c]).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.sale, vec![c]))
+        .unwrap();
     assert!(wh.verify_all(&db).unwrap());
     let visible = wh.summary_rows("hot_products").unwrap();
     assert!(!visible.iter().any(|r| r[0] == Value::Int(next_product)));
@@ -205,7 +210,7 @@ fn under_threshold_groups_survive_the_initial_load() {
     // resurface with the CORRECT cumulative count (3, not 2).
     for id in [5, 6] {
         let c = db.insert(sale, row![id, 2, 2.0]).unwrap();
-        wh.apply(sale, &[c]).unwrap();
+        wh.apply_batch(&ChangeBatch::single(sale, vec![c])).unwrap();
     }
     assert!(wh.verify_all(&db).unwrap());
     let rows = wh.summary_rows("busy").unwrap();

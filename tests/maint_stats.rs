@@ -4,6 +4,7 @@
 //! or rebuild repairs for visible dimension updates.
 
 use md_maintain::MaintStats;
+use md_warehouse::ChangeBatch;
 use md_warehouse::Warehouse;
 use md_workload::{
     generate_retail, product_brand_changes, sale_changes, time_inserts, views, Contracts,
@@ -17,6 +18,7 @@ fn delta(before: &MaintStats, after: &MaintStats) -> MaintStats {
         summary_rebuilds: after.summary_rebuilds - before.summary_rebuilds,
         dim_noop_changes: after.dim_noop_changes - before.dim_noop_changes,
         dim_targeted_updates: after.dim_targeted_updates - before.dim_targeted_updates,
+        ..MaintStats::default()
     }
 }
 
@@ -30,7 +32,8 @@ fn root_inserts_count_rows_and_touch_nothing_else() {
 
     let before = wh.stats("store_revenue").unwrap();
     let changes = sale_changes(&mut db, &schema, 25, UpdateMix::append_only(), 50);
-    wh.apply(schema.sale, &changes).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.sale, changes.to_vec()))
+        .unwrap();
     let d = delta(&before, &wh.stats("store_revenue").unwrap());
 
     assert_eq!(d.rows_processed, 25, "one count per root change");
@@ -59,7 +62,8 @@ fn root_deletes_recompute_only_extremum_groups() {
     let change = db.delete(schema.sale, &victim_id).unwrap();
 
     let before = wh.stats("product_sales_max").unwrap();
-    wh.apply(schema.sale, &[change]).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.sale, vec![change]))
+        .unwrap();
     let d = delta(&before, &wh.stats("product_sales_max").unwrap());
 
     assert_eq!(d.rows_processed, 1);
@@ -83,7 +87,8 @@ fn dependency_edge_inserts_are_proven_noops() {
     let summary_before = wh.summary_rows("product_sales").unwrap();
     let before = wh.stats("product_sales").unwrap();
     let changes = time_inserts(&mut db, &schema, 4);
-    wh.apply(schema.time, &changes).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.time, changes.to_vec()))
+        .unwrap();
     let d = delta(&before, &wh.stats("product_sales").unwrap());
 
     assert_eq!(d.rows_processed, 4);
@@ -120,7 +125,8 @@ fn invisible_dimension_updates_are_noops() {
     }
 
     let before = wh.stats("store_revenue").unwrap();
-    wh.apply(schema.store, &changes).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.store, changes.to_vec()))
+        .unwrap();
     let d = delta(&before, &wh.stats("store_revenue").unwrap());
 
     assert_eq!(d.rows_processed, ids.len() as u64);
@@ -138,14 +144,17 @@ fn invisible_dimension_updates_are_noops() {
 fn visible_dimension_updates_repair_targeted_or_rebuild() {
     // product_sales counts DISTINCT brands: a rename is visible and must
     // be repaired — either by the targeted per-group path or by a full
-    // rebuild from the auxiliary views, never silently.
+    // rebuild from the auxiliary views, never silently. Coalescing is
+    // disabled so the engine sees every rename (back-to-back renames of
+    // the same product would otherwise fold into one).
     let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
-    let mut wh = Warehouse::new(db.catalog());
+    let mut wh = Warehouse::builder().coalesce(false).build(db.catalog());
     wh.add_summary_sql(views::PRODUCT_SALES_SQL, &db).unwrap();
 
     let before = wh.stats("product_sales").unwrap();
     let changes = product_brand_changes(&mut db, &schema, 3, 53);
-    wh.apply(schema.product, &changes).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.product, changes.to_vec()))
+        .unwrap();
     let d = delta(&before, &wh.stats("product_sales").unwrap());
 
     assert_eq!(d.rows_processed, 3);
@@ -162,7 +171,8 @@ fn counters_survive_save_restore_and_recovery() {
     let mut wh = Warehouse::new(db.catalog());
     wh.add_summary_sql(views::PRODUCT_SALES_SQL, &db).unwrap();
     let changes = sale_changes(&mut db, &schema, 30, UpdateMix::balanced(), 54);
-    wh.apply(schema.sale, &changes).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.sale, changes.to_vec()))
+        .unwrap();
     let stats = wh.stats("product_sales").unwrap();
     assert!(stats.rows_processed > 0);
 

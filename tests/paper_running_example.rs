@@ -6,6 +6,7 @@ use md_core::{human_bytes, RetailModel};
 use md_maintain::AuxStore;
 use md_relation::{Database, Row};
 use md_sql::aux_view_to_sql;
+use md_warehouse::ChangeBatch;
 use md_warehouse::{derive, Warehouse};
 use md_workload::paper::{table3_sale_rows, table4_expected};
 use md_workload::retail::{retail_catalog, Contracts};
@@ -96,7 +97,8 @@ fn product_sales_reconstruction_without_base_access() {
     let changes =
         md_workload::sale_changes(&mut db, &schema, 50, md_workload::UpdateMix::balanced(), 13);
     for c in &changes {
-        wh.apply(schema.sale, std::slice::from_ref(c)).unwrap();
+        wh.apply_batch(&ChangeBatch::single(schema.sale, vec![c.clone()]))
+            .unwrap();
     }
     let after: Vec<Row> = wh.summary_rows("product_sales").unwrap();
     drop(db); // sources gone — summary still fully readable & maintained

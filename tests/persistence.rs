@@ -5,6 +5,7 @@
 use md_core::derive;
 use md_maintain::MaintenanceEngine;
 use md_sql::parse_view;
+use md_warehouse::ChangeBatch;
 use md_warehouse::Warehouse;
 use md_workload::{
     generate_retail, random_setup, sale_changes, views, Contracts, RetailParams, UpdateMix,
@@ -19,7 +20,8 @@ fn warehouse_round_trips_through_an_image() {
         .unwrap();
     wh.add_summary_sql(views::DAILY_PRODUCT_SQL, &db).unwrap(); // root omitted
     let changes = sale_changes(&mut db, &schema, 80, UpdateMix::balanced(), 42);
-    wh.apply(schema.sale, &changes).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.sale, changes.to_vec()))
+        .unwrap();
 
     let image = wh.save().unwrap();
     let restored = Warehouse::restore(db.catalog(), &image).unwrap();
@@ -63,7 +65,9 @@ fn maintenance_continues_after_restore() {
             },
             900 + batch,
         );
-        restored.apply(schema.sale, &changes).unwrap();
+        restored
+            .apply_batch(&ChangeBatch::single(schema.sale, changes.to_vec()))
+            .unwrap();
         assert!(
             restored.verify_all(&db).unwrap(),
             "diverged at batch {batch}"

@@ -2,6 +2,7 @@
 //! against recomputation after every batch — the system-level
 //! self-maintainability guarantee.
 
+use md_warehouse::ChangeBatch;
 use md_warehouse::Warehouse;
 use md_workload::{
     generate_retail, generate_snowflake, product_brand_changes, sale_changes, time_inserts, views,
@@ -19,7 +20,8 @@ fn three_views_under_a_long_mixed_stream() {
 
     for batch in 0..10 {
         let changes = sale_changes(&mut db, &schema, 50, UpdateMix::balanced(), 100 + batch);
-        wh.apply(schema.sale, &changes).unwrap();
+        wh.apply_batch(&ChangeBatch::single(schema.sale, changes.to_vec()))
+            .unwrap();
         assert!(wh.verify_all(&db).unwrap(), "diverged at batch {batch}");
     }
 }
@@ -32,7 +34,8 @@ fn dimension_growth_and_rebranding() {
 
     // Calendar grows (dependency no-ops)…
     let changes = time_inserts(&mut db, &schema, 10);
-    wh.apply(schema.time, &changes).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.time, changes.to_vec()))
+        .unwrap();
     assert!(wh.verify_all(&db).unwrap());
     assert!(wh.stats("product_sales").unwrap().dim_noop_changes >= 10);
 
@@ -40,14 +43,16 @@ fn dimension_growth_and_rebranding() {
     // cost heuristic says the affected groups cover most of the store, by
     // a full repair from X — never from the sources)…
     let changes = product_brand_changes(&mut db, &schema, 8, 21);
-    wh.apply(schema.product, &changes).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.product, changes.to_vec()))
+        .unwrap();
     assert!(wh.verify_all(&db).unwrap());
     let stats = wh.stats("product_sales").unwrap();
     assert!(stats.dim_targeted_updates + stats.summary_rebuilds >= 1);
 
     // …and facts keep flowing afterwards.
     let changes = sale_changes(&mut db, &schema, 100, UpdateMix::balanced(), 22);
-    wh.apply(schema.sale, &changes).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.sale, changes.to_vec()))
+        .unwrap();
     assert!(wh.verify_all(&db).unwrap());
 }
 
@@ -60,7 +65,8 @@ fn eliminated_root_view_under_stream() {
 
     for batch in 0..6 {
         let changes = sale_changes(&mut db, &schema, 40, UpdateMix::balanced(), 300 + batch);
-        wh.apply(schema.sale, &changes).unwrap();
+        wh.apply_batch(&ChangeBatch::single(schema.sale, changes.to_vec()))
+            .unwrap();
         assert!(wh.verify_all(&db).unwrap(), "diverged at batch {batch}");
     }
     // The warehouse holds no fact detail data at all for this view.
@@ -101,7 +107,8 @@ fn snowflake_rollup_under_stream() {
                 md_relation::row![base + i, (i % 6) + 1, (i % 12) + 1, 0.5 + i as f64],
             )
             .unwrap();
-        wh.apply(schema.sale, &[c]).unwrap();
+        wh.apply_batch(&ChangeBatch::single(schema.sale, vec![c]))
+            .unwrap();
     }
     assert!(wh.verify_all(&db).unwrap());
     // Delete the cheapest sale of some category to force MIN recompute.
@@ -116,7 +123,8 @@ fn snowflake_rollup_under_stream() {
         .map(|r| r[0].as_int().unwrap())
         .unwrap();
     let c = db.delete(schema.sale, &Value::Int(victim)).unwrap();
-    wh.apply(schema.sale, &[c]).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.sale, vec![c]))
+        .unwrap();
     assert!(wh.verify_all(&db).unwrap());
     assert!(wh.stats("by_category").unwrap().groups_recomputed >= 1);
 }
@@ -129,7 +137,8 @@ fn append_only_stream_is_cheap() {
     let mut wh = Warehouse::new(db.catalog());
     wh.add_summary_sql(views::STORE_REVENUE_SQL, &db).unwrap();
     let changes = sale_changes(&mut db, &schema, 200, UpdateMix::append_only(), 77);
-    wh.apply(schema.sale, &changes).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.sale, changes.to_vec()))
+        .unwrap();
     assert!(wh.verify_all(&db).unwrap());
     let stats = wh.stats("store_revenue").unwrap();
     assert_eq!(stats.groups_recomputed, 0);

@@ -7,6 +7,7 @@ use md_core::derive;
 use md_maintain::wal::{Wal, WAL_VERSION};
 use md_maintain::MaintenanceEngine;
 use md_sql::parse_view;
+use md_warehouse::ChangeBatch;
 use md_warehouse::Warehouse;
 use md_workload::{generate_retail, sale_changes, views, Contracts, RetailParams, UpdateMix};
 
@@ -99,7 +100,8 @@ fn warehouse_image() -> (md_relation::Catalog, Vec<u8>) {
     wh.add_summary_sql(views::PRODUCT_SALES_SQL, &db).unwrap();
     wh.add_summary_sql(views::STORE_REVENUE_SQL, &db).unwrap();
     let changes = sale_changes(&mut db, &schema, 20, UpdateMix::balanced(), 23);
-    wh.apply(schema.sale, &changes).unwrap();
+    wh.apply_batch(&ChangeBatch::single(schema.sale, changes.to_vec()))
+        .unwrap();
     (db.catalog().clone(), wh.save().unwrap())
 }
 
@@ -160,7 +162,8 @@ fn recovery_survives_arbitrary_log_corruption() {
     let snapshot = wh.save().unwrap();
     for seed in 0..3 {
         let changes = sale_changes(&mut db, &schema, 8, UpdateMix::balanced(), 400 + seed);
-        wh.apply(schema.sale, &changes).unwrap();
+        wh.apply_batch(&ChangeBatch::single(schema.sale, changes.to_vec()))
+            .unwrap();
     }
     let wal = wh.wal_bytes().unwrap().to_vec();
 

@@ -3,6 +3,7 @@
 //! and view definitions must round-trip through the pretty-printer.
 
 use md_sql::{parse_view, view_to_sql};
+use md_warehouse::ChangeBatch;
 use md_warehouse::Warehouse;
 use md_workload::{
     generate_retail, retail_catalog, sale_changes, Contracts, RetailParams, UpdateMix,
@@ -60,7 +61,8 @@ fn zoo_views_register_and_self_maintain() {
     assert!(wh.verify_all(&db).unwrap());
     for batch in 0..4 {
         let changes = sale_changes(&mut db, &schema, 60, UpdateMix::balanced(), 40 + batch);
-        wh.apply(schema.sale, &changes).unwrap();
+        wh.apply_batch(&ChangeBatch::single(schema.sale, changes.to_vec()))
+            .unwrap();
         assert!(wh.verify_all(&db).unwrap(), "diverged at batch {batch}");
     }
 }
