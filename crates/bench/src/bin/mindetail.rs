@@ -8,6 +8,7 @@
 //! \tables                    list source tables and row counts
 //! \views                     list registered summaries
 //! \explain NAME              join graph + derived auxiliary views
+//! \check [NAME]              static analysis (md-check) of one/all summaries
 //! \rows NAME [N]             first N rows of a summary (default 10)
 //! \storage                   detail-data storage accounting
 //! \shared                    auxiliary views shared across summaries
@@ -24,8 +25,13 @@
 //!
 //! Pass `--workers N` to fan maintenance out across N worker threads.
 //!
+//! Batch mode: `mindetail check FILE.sql... [--json]` analyzes every GPSJ
+//! statement in the given files against the retail catalog and exits
+//! non-zero if any error-level diagnostic is found — suitable for CI.
+//!
 //! Try: `cargo run -p md-bench --bin mindetail -- --demo`
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
 use md_core::human_bytes;
@@ -40,6 +46,8 @@ struct Shell {
     schema: RetailSchema,
     churn_seed: u64,
     workers: usize,
+    /// Original SQL text per summary, for `\check NAME` span rendering.
+    sql_by_name: BTreeMap<String, String>,
 }
 
 impl Shell {
@@ -50,6 +58,9 @@ impl Shell {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check") {
+        std::process::exit(run_check(&args[1..]));
+    }
     let workers: usize = args
         .iter()
         .position(|a| a == "--workers")
@@ -64,6 +75,7 @@ fn main() {
         schema,
         churn_seed: 1,
         workers,
+        sql_by_name: BTreeMap::new(),
     };
 
     println!("mindetail — minimal detail data for GPSJ summary views (EDBT 1998)");
@@ -74,6 +86,7 @@ fn main() {
         for cmd in [
             views::PRODUCT_SALES_SQL,
             "\\explain product_sales",
+            "\\check product_sales",
             "\\churn 200",
             "\\rows product_sales",
             "\\storage",
@@ -135,6 +148,66 @@ fn main() {
     }
 }
 
+/// Batch mode: `mindetail check FILE.sql... [--json]`. Analyzes every GPSJ
+/// statement in the files against the retail catalog; returns the process
+/// exit code (1 when any error-level diagnostic is found, 2 on usage or
+/// I/O problems).
+fn run_check(args: &[String]) -> i32 {
+    let json = args.iter().any(|a| a == "--json");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.is_empty() {
+        eprintln!("usage: mindetail check FILE.sql... [--json]");
+        return 2;
+    }
+    // The shell's own catalog: tight contracts, so the analyzer audits the
+    // same schema the interactive session runs against.
+    let (db, _) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let catalog = db.catalog();
+    let mut errors = 0usize;
+    let mut reports = Vec::new();
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return 2;
+            }
+        };
+        for stmt in split_statements(&text) {
+            if stmt.starts_with('\\') {
+                continue; // shell commands are not checkable SQL
+            }
+            let report = md_check::check_file(path, stmt.trim_end_matches(';'), catalog);
+            errors += report.error_count();
+            reports.push(report);
+        }
+    }
+    if json {
+        // One JSON array over all statements, stable order.
+        println!("[");
+        for (i, r) in reports.iter().enumerate() {
+            let sep = if i + 1 < reports.len() { "," } else { "" };
+            println!("{}{sep}", r.to_json());
+        }
+        println!("]");
+    } else {
+        for r in &reports {
+            println!("{}", r.render());
+            println!();
+        }
+        println!(
+            "checked {} statement(s): {} error(s)",
+            reports.len(),
+            errors
+        );
+    }
+    if errors > 0 {
+        1
+    } else {
+        0
+    }
+}
+
 /// Splits a script into statements: backslash commands are line-delimited,
 /// SQL is semicolon-delimited.
 fn split_statements(text: &str) -> Vec<String> {
@@ -173,10 +246,12 @@ impl Shell {
 
     fn dispatch(&mut self, input: &str) -> Result<(), String> {
         if !input.starts_with('\\') {
+            let sql = input.trim_end_matches(';');
             let name = self
                 .wh
-                .add_summary_sql(input.trim_end_matches(';'), &self.db)
+                .add_summary_sql(sql, &self.db)
                 .map_err(|e| e.to_string())?;
+            self.sql_by_name.insert(name.clone(), sql.to_owned());
             println!("registered summary '{name}'");
             return Ok(());
         }
@@ -188,7 +263,7 @@ impl Shell {
             "\\help" => {
                 println!(
                     "CREATE VIEW ... ;  register a GPSJ summary view\n\
-                     \\tables  \\views  \\explain NAME  \\rows NAME [N]\n\
+                     \\tables  \\views  \\explain NAME  \\check [NAME]  \\rows NAME [N]\n\
                      \\storage  \\shared  \\churn N  \\verify\n\
                      \\audit  \\sched  \\deadletters  \\wal\n\
                      \\save FILE  \\restore FILE  \\recover FILE  \\quit"
@@ -217,6 +292,27 @@ impl Shell {
             "\\explain" => {
                 let name = arg1.ok_or("usage: \\explain NAME")?;
                 println!("{}", self.wh.explain(name).map_err(|e| e.to_string())?);
+            }
+            "\\check" => {
+                let names: Vec<String> = match arg1 {
+                    Some(n) => vec![n.to_owned()],
+                    None => self.wh.summaries().map(|s| s.to_owned()).collect(),
+                };
+                if names.is_empty() {
+                    println!("(no summaries registered)");
+                }
+                for name in names {
+                    // Prefer the original SQL text (spans point into what the
+                    // user typed); restored summaries fall back to the view.
+                    let report = match self.sql_by_name.get(&name) {
+                        Some(sql) => md_check::check_file(&name, sql, self.db.catalog()),
+                        None => {
+                            let plan = self.wh.plan(&name).map_err(|e| e.to_string())?;
+                            md_check::check_view(&plan.view, self.db.catalog())
+                        }
+                    };
+                    println!("{}", report.render());
+                }
             }
             "\\rows" => {
                 let name = arg1.ok_or("usage: \\rows NAME [N]")?;

@@ -1,0 +1,101 @@
+//! `report_check` — the static-analyzer overhead experiment behind
+//! `BENCH_check.json`.
+//!
+//! Strict-mode registration runs `md-check` on every view definition, so
+//! the analyzer sits on the warehouse's administrative path. This report
+//! measures what that costs: the wall time of a full `check_sql` pass
+//! (all six analysis passes, rendered report and JSON thrown away) over
+//! the four workload views, against the wall time of one maintenance
+//! batch of `BATCH_CHANGES` source changes — the unit of recurring work
+//! the warehouse exists to perform.
+//!
+//! The analyzer runs once per definition at registration; maintenance
+//! runs on every batch. The report's `pass` flag asserts the analyzer
+//! stays cheaper than a single batch, i.e. strict mode is free noise on
+//! the administrative path.
+//!
+//! Run with: `cargo run --release -p md-bench --bin report_check`
+
+use std::time::Instant;
+
+use md_warehouse::{ChangeBatch, Warehouse};
+use md_workload::{generate_retail, sale_changes, views, Contracts, RetailParams, UpdateMix};
+
+const SUMMARIES: [(&str, &str); 4] = [
+    ("product_sales", views::PRODUCT_SALES_SQL),
+    ("product_sales_max", views::PRODUCT_SALES_MAX_SQL),
+    ("store_revenue", views::STORE_REVENUE_SQL),
+    ("daily_product", views::DAILY_PRODUCT_SQL),
+];
+const BATCH_CHANGES: usize = 200;
+const REPS: usize = 25;
+
+fn main() {
+    let (mut db, schema) = generate_retail(RetailParams::small(), Contracts::Tight);
+    let catalog = db.catalog().clone();
+
+    // Analyzer wall time: full check of all four views, best-of-REPS
+    // medians are overkill for a smoke report — use the mean over REPS
+    // after one warm-up round.
+    let mut diagnostics = 0usize;
+    for (_, sql) in SUMMARIES {
+        diagnostics += md_check::check_sql(sql, &catalog).diagnostics().len();
+    }
+    let t = Instant::now();
+    for _ in 0..REPS {
+        for (_, sql) in SUMMARIES {
+            let report = md_check::check_sql(sql, &catalog);
+            std::hint::black_box(report.render());
+            std::hint::black_box(report.to_json());
+        }
+    }
+    let check_ms = t.elapsed().as_secs_f64() * 1e3 / REPS as f64;
+
+    // Maintenance wall time: one batch of BATCH_CHANGES changes through a
+    // warehouse carrying the same four summaries.
+    let mut wh = Warehouse::new(db.catalog());
+    for (_, sql) in SUMMARIES {
+        wh.add_summary_sql(sql, &db).expect("summary registers");
+    }
+    let changes = sale_changes(&mut db, &schema, BATCH_CHANGES, UpdateMix::balanced(), 7);
+    let t = Instant::now();
+    wh.apply_batch(&ChangeBatch::single(schema.sale, changes))
+        .expect("batch applies");
+    let batch_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(wh.verify_all(&db).expect("oracle check"), "divergence");
+
+    let ratio = check_ms / batch_ms;
+    let pass = ratio <= 1.0;
+    let json = format!(
+        r#"{{
+  "experiment": "static analyzer overhead vs one maintenance batch",
+  "views_checked": {n_views},
+  "diagnostics_emitted": {diagnostics},
+  "analyzer_reps": {reps},
+  "check_all_views_ms": {check_ms:.3},
+  "maintenance_batch_changes": {batch},
+  "maintenance_batch_ms": {batch_ms:.3},
+  "check_to_batch_ratio": {ratio:.3},
+  "pass": {pass},
+  "note": "the analyzer runs once per registration (all passes, rendered + JSON output); maintenance runs per batch — strict mode must stay below one batch to be free on the administrative path"
+}}
+"#,
+        n_views = SUMMARIES.len(),
+        diagnostics = diagnostics,
+        reps = REPS,
+        check_ms = check_ms,
+        batch = BATCH_CHANGES,
+        batch_ms = batch_ms,
+        ratio = ratio,
+        pass = pass,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_check.json", &json).expect("writes BENCH_check.json");
+    eprintln!("\nwrote BENCH_check.json (check {check_ms:.3}ms vs batch {batch_ms:.3}ms)");
+    assert!(
+        pass,
+        "analyzer pass over {} views must cost less than one {BATCH_CHANGES}-change batch \
+         (check {check_ms:.3}ms, batch {batch_ms:.3}ms)",
+        SUMMARIES.len()
+    );
+}

@@ -1,0 +1,230 @@
+//! Pass 3 — join-graph well-formedness (`MD020`–`MD023`, `MD033`).
+//!
+//! Rebuilds the extended join graph (paper Definition 2) from the resolved
+//! conditions, so structural defects are reported with the span of the
+//! offending join condition *before* `GpsjView::validate` would reject the
+//! view without provenance. Mirrors `core::join_graph::ExtendedJoinGraph::
+//! build`: edges oriented foreign key → key, at most one incoming edge per
+//! table, exactly one root, full reachability.
+
+use std::collections::BTreeSet;
+
+use md_algebra::{CmpOp, ColRef};
+use md_relation::{Catalog, TableId};
+use md_sql::ParsedView;
+
+use crate::diag::{CheckReport, Code, Diagnostic};
+use crate::resolve_pass::{cond_span, from_span, statement_span, ROperand, Resolved};
+
+/// A join edge with the index of the condition that induced it.
+struct Edge {
+    from: ColRef,
+    to: ColRef,
+    cond: usize,
+}
+
+/// Runs the pass. Returns `false` when a structural error was found (the
+/// aggregate/exposure/plan passes need a valid tree).
+pub(crate) fn run(
+    report: &mut CheckReport,
+    parsed: &ParsedView,
+    resolved: &Resolved,
+    catalog: &Catalog,
+) -> bool {
+    let errors_before = report.error_count();
+    let name_of = |t: TableId| -> String {
+        catalog
+            .def(t)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|_| t.to_string())
+    };
+
+    // Orient each cross-table condition into an edge (MD020 otherwise).
+    let mut edges: Vec<Edge> = Vec::new();
+    for rc in &resolved.conds {
+        let (ROperand::Col(l), ROperand::Col(r)) = (rc.left, rc.right) else {
+            continue;
+        };
+        if l.table == r.table {
+            continue; // local condition, not a join
+        }
+        let span = cond_span(parsed, rc.index);
+        if rc.op != CmpOp::Eq {
+            report.push(
+                Diagnostic::new(Code::Md020, "join conditions must be equalities")
+                    .with_span(span)
+                    .with_label(format!("'{}' cannot express a key/foreign-key join", rc.op)),
+            );
+            continue;
+        }
+        let l_is_key = catalog
+            .def(l.table)
+            .map(|d| d.key_col == l.column)
+            .unwrap_or(false);
+        let r_is_key = catalog
+            .def(r.table)
+            .map(|d| d.key_col == r.column)
+            .unwrap_or(false);
+        // Same tie-break as `Condition::join_pair`: the right side wins the
+        // key role when both sides are keys.
+        let (from, to) = if r_is_key {
+            (l, r)
+        } else if l_is_key {
+            (r, l)
+        } else {
+            report.push(
+                Diagnostic::new(
+                    Code::Md020,
+                    format!(
+                        "join between {} and {} is not on a key",
+                        l.display(catalog),
+                        r.display(catalog)
+                    ),
+                )
+                .with_span(span)
+                .with_label("neither side is its table's key")
+                .with_help(
+                    "GPSJ joins must equate a foreign key with the referenced table's key \
+                     (paper Definition 2)",
+                ),
+            );
+            continue;
+        };
+        if !edges.iter().any(|e| e.from == from && e.to == to) {
+            edges.push(Edge {
+                from,
+                to,
+                cond: rc.index,
+            });
+        }
+    }
+    if report.error_count() > errors_before {
+        return false;
+    }
+
+    // At most one incoming edge per table (MD021).
+    for &t in &resolved.tables {
+        let incoming: Vec<&Edge> = edges.iter().filter(|e| e.to.table == t).collect();
+        if incoming.len() > 1 {
+            let paths: Vec<String> = incoming
+                .iter()
+                .map(|e| format!("{} = {}", e.from.display(catalog), e.to.display(catalog)))
+                .collect();
+            report.push(
+                Diagnostic::new(
+                    Code::Md021,
+                    format!(
+                        "table '{}' is reached by {} join paths",
+                        name_of(t),
+                        incoming.len()
+                    ),
+                )
+                .with_span(cond_span(parsed, incoming[1].cond))
+                .with_label("second join path into the table")
+                .with_note(format!("join paths: {}", paths.join("; ")))
+                .with_help("the extended join graph must be a tree (at most one parent per table)"),
+            );
+        }
+    }
+    if report.error_count() > errors_before {
+        return false;
+    }
+
+    // Exactly one root (MD022 no root = cycle, MD023 several = disconnected).
+    let roots: Vec<TableId> = resolved
+        .tables
+        .iter()
+        .copied()
+        .filter(|&t| !edges.iter().any(|e| e.to.table == t))
+        .collect();
+    match roots.as_slice() {
+        [root] => {
+            // Reachability from the root (a cycle hanging off the tree has
+            // one incoming edge everywhere yet is unreachable).
+            let mut reached = BTreeSet::new();
+            let mut stack = vec![*root];
+            while let Some(t) = stack.pop() {
+                if reached.insert(t) {
+                    for e in edges.iter().filter(|e| e.from.table == t) {
+                        stack.push(e.to.table);
+                    }
+                }
+            }
+            let unreached: Vec<TableId> = resolved
+                .tables
+                .iter()
+                .copied()
+                .filter(|t| !reached.contains(t))
+                .collect();
+            if let Some(&first) = unreached.first() {
+                let idx = resolved.tables.iter().position(|&t| t == first);
+                report.push(
+                    Diagnostic::new(
+                        Code::Md022,
+                        format!(
+                            "the join graph contains a cycle: {} cannot be reached from root '{}'",
+                            unreached
+                                .iter()
+                                .map(|&t| format!("'{}'", name_of(t)))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                            name_of(*root)
+                        ),
+                    )
+                    .with_span(idx.and_then(|i| from_span(parsed, i))),
+                );
+            }
+        }
+        [] => {
+            report.push(
+                Diagnostic::new(
+                    Code::Md022,
+                    "every table has an incoming join edge: the join graph contains a cycle",
+                )
+                .with_span(statement_span(parsed))
+                .with_help("the extended join graph must be a tree rooted at the fact table"),
+            );
+        }
+        many => {
+            let names: Vec<String> = many.iter().map(|&t| format!("'{}'", name_of(t))).collect();
+            let second = resolved.tables.iter().position(|&t| t == many[1]);
+            report.push(
+                Diagnostic::new(Code::Md023, "the join graph is disconnected")
+                    .with_span(second.and_then(|i| from_span(parsed, i)))
+                    .with_label("not joined to the rest of the view")
+                    .with_note(format!("candidate roots: {}", names.join(", ")))
+                    .with_help("add a key/foreign-key join condition connecting the components"),
+            );
+        }
+    }
+    if report.error_count() > errors_before {
+        return false;
+    }
+
+    // MD033: edges without declared referential integrity can never become
+    // dependency edges (Section 2.2), so they block every join reduction.
+    for e in &edges {
+        if catalog
+            .foreign_key(e.from.table, e.from.column, e.to.table)
+            .is_none()
+        {
+            report.push(
+                Diagnostic::new(
+                    Code::Md033,
+                    format!(
+                        "join from {} to '{}' has no declared foreign key",
+                        e.from.display(catalog),
+                        name_of(e.to.table)
+                    ),
+                )
+                .with_span(cond_span(parsed, e.cond))
+                .with_note(
+                    "without referential integrity this edge is never a dependency \
+                     (Section 2.2), so auxiliary views on this path cannot be reduced or omitted",
+                )
+                .with_help("declare the foreign key in the catalog (Catalog::add_foreign_key)"),
+            );
+        }
+    }
+    true
+}

@@ -1,0 +1,152 @@
+//! Hand-rolled JSON emission for [`CheckReport`] (the workspace has no
+//! serde; the format is small, deterministic, and golden-file tested).
+//!
+//! Field order is fixed; spans are flattened into `line`/`col` (1-based)
+//! plus the raw byte offsets, so editors can use either.
+
+use std::fmt::Write as _;
+
+use crate::diag::{CheckReport, Diagnostic};
+
+impl CheckReport {
+    /// Serializes the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"origin\": {},", quote(self.origin()));
+        let _ = writeln!(
+            out,
+            "  \"view\": {},",
+            self.view_name().map(quote).unwrap_or_else(|| "null".into())
+        );
+        let _ = writeln!(out, "  \"errors\": {},", self.error_count());
+        let _ = writeln!(out, "  \"warnings\": {},", self.warning_count());
+        let _ = writeln!(out, "  \"notes\": {},", self.note_count());
+        if self.diagnostics().is_empty() {
+            out.push_str("  \"diagnostics\": []\n");
+        } else {
+            out.push_str("  \"diagnostics\": [\n");
+            let last = self.diagnostics().len() - 1;
+            for (i, d) in self.diagnostics().iter().enumerate() {
+                diagnostic_json(&mut out, d, self.source());
+                out.push_str(if i == last { "\n" } else { ",\n" });
+            }
+            out.push_str("  ]\n");
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn diagnostic_json(out: &mut String, d: &Diagnostic, source: Option<&str>) {
+    out.push_str("    {\n");
+    let _ = writeln!(out, "      \"code\": {},", quote(d.code.as_str()));
+    let _ = writeln!(out, "      \"severity\": {},", quote(d.severity.as_str()));
+    let _ = writeln!(out, "      \"message\": {},", quote(&d.message));
+    match d.span {
+        Some(span) => {
+            let (line, col) = source
+                .map(|src| line_col(src, span.start))
+                .unwrap_or((1, span.start + 1));
+            let _ = writeln!(out, "      \"line\": {line},");
+            let _ = writeln!(out, "      \"col\": {col},");
+            let _ = writeln!(out, "      \"start\": {},", span.start);
+            let _ = writeln!(out, "      \"end\": {},", span.end);
+        }
+        None => {
+            out.push_str("      \"line\": null,\n");
+            out.push_str("      \"col\": null,\n");
+            out.push_str("      \"start\": null,\n");
+            out.push_str("      \"end\": null,\n");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "      \"label\": {},",
+        d.label
+            .as_deref()
+            .map(quote)
+            .unwrap_or_else(|| "null".into())
+    );
+    let _ = writeln!(out, "      \"help\": {},", string_array(&d.help));
+    let _ = writeln!(out, "      \"notes\": {}", string_array(&d.notes));
+    out.push_str("    }");
+}
+
+fn string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| quote(s)).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+/// 1-based line/column of a byte offset.
+fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let mut line = 1;
+    let mut line_start = 0;
+    for (i, b) in source.bytes().enumerate() {
+        if i >= offset {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    (line, offset - line_start + 1)
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Code, Diagnostic};
+    use md_sql::Span;
+
+    #[test]
+    fn empty_report_serializes() {
+        let r = CheckReport::new("<sql>", None);
+        let j = r.to_json();
+        assert!(j.contains("\"errors\": 0"));
+        assert!(j.contains("\"diagnostics\": []"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn span_becomes_line_col_and_offsets() {
+        let src = "SELECT x\nFROM nope";
+        let mut r = CheckReport::new("f.sql", Some(src.to_owned()));
+        r.push(
+            Diagnostic::new(Code::Md010, "unknown table 'nope' in FROM")
+                .with_span(Some(Span::new(14, 18))),
+        );
+        let j = r.to_json();
+        assert!(j.contains("\"line\": 2"), "{j}");
+        assert!(j.contains("\"col\": 6"), "{j}");
+        assert!(j.contains("\"start\": 14"), "{j}");
+        assert!(j.contains("\"end\": 18"), "{j}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,212 @@
+//! Rustc-style plain-text rendering of a [`CheckReport`].
+//!
+//! ```text
+//! error[MD012]: unknown column 'nope' in table 'sale'
+//!  --> bad.sql:1:8
+//!   |
+//! 1 | SELECT sale.nope, COUNT(*) AS n FROM sale
+//!   |        ^^^^^^^^^ no such column
+//!   = help: columns of 'sale': id, timeid, productid, storeid, price
+//! ```
+//!
+//! The output is deterministic (golden-file tested) and ASCII-only.
+
+use std::fmt::Write as _;
+
+use md_sql::Span;
+
+use crate::diag::{CheckReport, Diagnostic};
+
+impl CheckReport {
+    /// Renders every diagnostic plus a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in self.diagnostics() {
+            render_one(&mut out, d, self.origin(), self.source());
+            out.push('\n');
+        }
+        if self.is_clean() {
+            let _ = writeln!(out, "check passed: no diagnostics");
+        } else {
+            let _ = writeln!(
+                out,
+                "check finished: {} error(s), {} warning(s), {} note(s)",
+                self.error_count(),
+                self.warning_count(),
+                self.note_count()
+            );
+        }
+        out
+    }
+}
+
+fn render_one(out: &mut String, d: &Diagnostic, origin: &str, source: Option<&str>) {
+    let _ = writeln!(
+        out,
+        "{}[{}]: {}",
+        d.severity.as_str(),
+        d.code.as_str(),
+        d.message
+    );
+    let snippet = d
+        .span
+        .and_then(|span| source.map(|src| (span, src)))
+        .and_then(|(span, src)| locate(src, span));
+    let gutter = match &snippet {
+        Some(loc) => loc.line_no.to_string().len(),
+        None => 1,
+    };
+    if let Some(loc) = &snippet {
+        let _ = writeln!(
+            out,
+            "{:gutter$}--> {origin}:{}:{}",
+            "", loc.line_no, loc.col
+        );
+        let _ = writeln!(out, "{:gutter$} |", "");
+        let _ = writeln!(out, "{:>gutter$} | {}", loc.line_no, loc.text);
+        let carets = "^".repeat(loc.width.max(1));
+        match &d.label {
+            Some(label) => {
+                let _ = writeln!(
+                    out,
+                    "{:gutter$} | {:pad$}{carets} {label}",
+                    "",
+                    "",
+                    pad = loc.col - 1
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{:gutter$} | {:pad$}{carets}",
+                    "",
+                    "",
+                    pad = loc.col - 1
+                );
+            }
+        }
+    }
+    for h in &d.help {
+        let _ = writeln!(out, "{:gutter$} = help: {h}", "");
+    }
+    for n in &d.notes {
+        let _ = writeln!(out, "{:gutter$} = note: {n}", "");
+    }
+}
+
+struct Located<'a> {
+    /// 1-based line number of the span start.
+    line_no: usize,
+    /// 1-based column (byte) of the span start within the line.
+    col: usize,
+    /// The full source line, without its newline.
+    text: &'a str,
+    /// Underline width, clipped to the end of the line.
+    width: usize,
+}
+
+/// Finds the line containing `span.start`. Returns `None` for spans outside
+/// the source (defensive: spans always come from the same text).
+fn locate(source: &str, span: Span) -> Option<Located<'_>> {
+    if span.start > source.len() {
+        return None;
+    }
+    let mut line_start = 0;
+    let mut line_no = 1;
+    for (i, b) in source.bytes().enumerate() {
+        if i >= span.start {
+            break;
+        }
+        if b == b'\n' {
+            line_start = i + 1;
+            line_no += 1;
+        }
+    }
+    let line_end = source[line_start..]
+        .find('\n')
+        .map(|i| line_start + i)
+        .unwrap_or(source.len());
+    let col = span.start - line_start + 1;
+    let width = span.end.min(line_end).saturating_sub(span.start);
+    Some(Located {
+        line_no,
+        col,
+        text: &source[line_start..line_end],
+        width,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Code;
+
+    #[test]
+    fn renders_span_with_carets_and_label() {
+        let src = "SELECT sale.nope FROM sale";
+        let mut r = CheckReport::new("bad.sql", Some(src.to_owned()));
+        r.push(
+            Diagnostic::new(Code::Md012, "unknown column 'nope' in table 'sale'")
+                .with_span(Some(Span::new(7, 16)))
+                .with_label("no such column")
+                .with_help("columns of 'sale': id"),
+        );
+        let text = r.render();
+        let expected = [
+            "error[MD012]: unknown column 'nope' in table 'sale'",
+            " --> bad.sql:1:8",
+            "  |",
+            "1 | SELECT sale.nope FROM sale",
+            "  |        ^^^^^^^^^ no such column",
+            "  = help: columns of 'sale': id",
+            "",
+            "check finished: 1 error(s), 0 warning(s), 0 note(s)",
+            "",
+        ]
+        .join("\n");
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn renders_multi_line_source_with_correct_line_numbers() {
+        let src = "SELECT time.month, COUNT(*) AS n\nFROM time\nGROUP BY time.month";
+        let mut r = CheckReport::new("v.sql", Some(src.to_owned()));
+        // Span of "time" on line 2.
+        r.push(Diagnostic::new(Code::Md010, "msg").with_span(Some(Span::new(38, 42))));
+        let text = r.render();
+        assert!(text.contains("--> v.sql:2:6"), "{text}");
+        assert!(text.contains("2 | FROM time"), "{text}");
+    }
+
+    #[test]
+    fn spanless_diagnostics_render_without_snippet() {
+        let mut r = CheckReport::new("<sql>", None);
+        r.push(Diagnostic::new(Code::Md022, "cycle").with_note("a note"));
+        let text = r.render();
+        let expected = [
+            "error[MD022]: cycle",
+            "  = note: a note",
+            "",
+            "check finished: 1 error(s), 0 warning(s), 0 note(s)",
+            "",
+        ]
+        .join("\n");
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn clean_report() {
+        let r = CheckReport::new("<sql>", None);
+        assert_eq!(r.render(), "check passed: no diagnostics\n");
+    }
+
+    #[test]
+    fn underline_is_clipped_to_the_line() {
+        let src = "SELECT x\nFROM t";
+        let mut r = CheckReport::new("f", Some(src.to_owned()));
+        // Statement-wide span: carets must stop at the end of line 1.
+        r.push(Diagnostic::new(Code::Md015, "m").with_span(Some(Span::new(0, src.len()))));
+        let text = r.render();
+        assert!(text.contains("| ^^^^^^^^\n"), "{text}");
+    }
+}

@@ -1,0 +1,469 @@
+//! Pass 2 — span-aware name resolution (`MD010`–`MD016`).
+//!
+//! Mirrors the checks of `md_sql::resolve` but reports *every* defect with
+//! a source span instead of stopping at the first, and keeps going within
+//! the pass so one statement yields one complete report. Resolution errors
+//! are fatal to later passes: the join-graph and aggregate analyses need
+//! fully resolved column references.
+
+use std::collections::BTreeSet;
+
+use md_algebra::{Aggregate, CmpOp, ColRef};
+use md_relation::{Catalog, DataType, TableId};
+use md_sql::parser::{ParsedExpr, ParsedLiteral, ParsedOperand, QualName};
+use md_sql::{ParsedView, Span};
+
+use crate::diag::{CheckReport, Code, Diagnostic};
+
+/// One side of a resolved condition.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ROperand {
+    /// A resolved column.
+    Col(ColRef),
+    /// A literal (type checks already done here).
+    Lit,
+}
+
+/// A fully resolved `WHERE` conjunct, tagged with its index into
+/// `parsed.conditions` (for span lookup in later passes).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RCond {
+    pub index: usize,
+    pub left: ROperand,
+    pub op: CmpOp,
+    pub right: ROperand,
+}
+
+/// The output of the pass: resolved FROM tables (in clause order) and
+/// resolved conditions.
+#[derive(Debug, Clone)]
+pub(crate) struct Resolved {
+    pub tables: Vec<TableId>,
+    pub conds: Vec<RCond>,
+}
+
+/// Runs the pass. Returns `None` when any error was emitted (later passes
+/// must not run on partially resolved input).
+pub(crate) fn run(
+    report: &mut CheckReport,
+    parsed: &ParsedView,
+    catalog: &Catalog,
+) -> Option<Resolved> {
+    let errors_before = report.error_count();
+
+    // FROM clause.
+    let mut tables: Vec<TableId> = Vec::with_capacity(parsed.from.len());
+    let mut unknown_tables: BTreeSet<&str> = BTreeSet::new();
+    for (i, name) in parsed.from.iter().enumerate() {
+        let span = from_span(parsed, i);
+        match catalog.table_id(name) {
+            None => {
+                unknown_tables.insert(name);
+                report.push(
+                    Diagnostic::new(Code::Md010, format!("unknown table '{name}' in FROM"))
+                        .with_span(span)
+                        .with_help(format!("available tables: {}", table_names(catalog))),
+                );
+            }
+            Some(id) if tables.contains(&id) => {
+                report.push(
+                    Diagnostic::new(Code::Md011, format!("table '{name}' listed twice in FROM"))
+                        .with_span(span)
+                        .with_label("self-joins are outside the GPSJ class"),
+                );
+            }
+            Some(id) => tables.push(id),
+        }
+    }
+
+    let r = Resolver {
+        catalog,
+        tables: &tables,
+        unknown_tables: &unknown_tables,
+    };
+
+    // Select list: resolve columns and aggregate arguments, collect the
+    // effective output aliases (explicit or the resolver's defaults).
+    let mut plain_cols: Vec<(ColRef, usize)> = Vec::new();
+    let mut aggs: Vec<(Aggregate, usize)> = Vec::new();
+    let mut aliases: Vec<(String, usize)> = Vec::new();
+    for (i, item) in parsed.select.iter().enumerate() {
+        let span = select_span(parsed, i);
+        match &item.expr {
+            ParsedExpr::Col(qn) => {
+                if let Some(col) = r.resolve_col(report, qn, span) {
+                    plain_cols.push((col, i));
+                }
+                aliases.push((item.alias.clone().unwrap_or_else(|| qn.column.clone()), i));
+            }
+            ParsedExpr::Agg {
+                func,
+                distinct,
+                arg,
+            } => {
+                let agg = match arg {
+                    None => Some(Aggregate::count_star()),
+                    Some(qn) => r.resolve_col(report, qn, span).map(|col| {
+                        if *distinct {
+                            Aggregate::distinct_of(*func, col)
+                        } else {
+                            Aggregate::of(*func, col)
+                        }
+                    }),
+                };
+                if let Some(agg) = agg {
+                    aggs.push((agg, i));
+                }
+                let alias = item.alias.clone().unwrap_or_else(|| match arg {
+                    None => "count_all".to_owned(),
+                    Some(qn) => format!(
+                        "{}_{}{}",
+                        func.name().to_ascii_lowercase(),
+                        if *distinct { "distinct_" } else { "" },
+                        qn.column
+                    ),
+                });
+                aliases.push((alias, i));
+            }
+        }
+    }
+
+    // MD016: duplicate output aliases.
+    for (i, (alias, item)) in aliases.iter().enumerate() {
+        if aliases[..i].iter().any(|(a, _)| a == alias) {
+            report.push(
+                Diagnostic::new(Code::Md016, format!("duplicate output alias '{alias}'"))
+                    .with_span(select_span(parsed, *item))
+                    .with_help("rename one of the select items with AS"),
+            );
+        }
+    }
+
+    // GROUP BY columns.
+    let mut group_cols: Vec<(ColRef, usize)> = Vec::new();
+    for (i, qn) in parsed.group_by.iter().enumerate() {
+        let span = parsed.spans.group_by.get(i).copied();
+        if let Some(col) = r.resolve_col(report, qn, span) {
+            group_cols.push((col, i));
+        }
+    }
+
+    // MD014: plain select columns and GROUP BY must coincide (the paper
+    // requires all group-by attributes to be projected).
+    for &(col, item) in &plain_cols {
+        if !group_cols.iter().any(|&(g, _)| g == col) {
+            report.push(
+                Diagnostic::new(
+                    Code::Md014,
+                    format!(
+                        "select column {} must appear in GROUP BY",
+                        col.display(catalog)
+                    ),
+                )
+                .with_span(select_span(parsed, item))
+                .with_label("projected but not grouped"),
+            );
+        }
+    }
+    for &(col, i) in &group_cols {
+        if !plain_cols.iter().any(|&(p, _)| p == col) {
+            report.push(
+                Diagnostic::new(
+                    Code::Md014,
+                    format!(
+                        "GROUP BY column {} must be projected in the select list",
+                        col.display(catalog)
+                    ),
+                )
+                .with_span(parsed.spans.group_by.get(i).copied())
+                .with_note("GPSJ views project all group-by attributes"),
+            );
+        }
+    }
+
+    // Conditions (MD015 for literal-only and type-mismatched comparisons).
+    let mut conds: Vec<RCond> = Vec::new();
+    for (i, cond) in parsed.conditions.iter().enumerate() {
+        let span = cond_span(parsed, i);
+        let mut side = |op: &ParsedOperand| -> Option<ROperand> {
+            match op {
+                ParsedOperand::Col(qn) => r.resolve_col(report, qn, span).map(ROperand::Col),
+                ParsedOperand::Lit(_) => Some(ROperand::Lit),
+            }
+        };
+        let (left, right) = (side(&cond.left), side(&cond.right));
+        if let (ParsedOperand::Lit(_), ParsedOperand::Lit(_)) = (&cond.left, &cond.right) {
+            report.push(
+                Diagnostic::new(
+                    Code::Md015,
+                    "conditions between two literals are not supported",
+                )
+                .with_span(span),
+            );
+            continue;
+        }
+        // Column-literal type compatibility (either orientation).
+        let pairs = [
+            (&cond.left, &cond.right, left),
+            (&cond.right, &cond.left, right),
+        ];
+        for (col_side, lit_side, resolved) in pairs {
+            if let (ParsedOperand::Col(_), ParsedOperand::Lit(lit)) = (col_side, lit_side) {
+                if let Some(ROperand::Col(col)) = resolved {
+                    check_literal_type(report, catalog, col, lit, span);
+                }
+            }
+        }
+        if let (Some(left), Some(right)) = (left, right) {
+            conds.push(RCond {
+                index: i,
+                left,
+                op: cond.op,
+                right,
+            });
+        }
+    }
+
+    // HAVING conjuncts must reference an output of the view.
+    for (i, h) in parsed.having.iter().enumerate() {
+        let span = parsed.spans.having.get(i).copied();
+        match &h.expr {
+            ParsedExpr::Agg {
+                func,
+                distinct,
+                arg,
+            } => {
+                let wanted = match arg {
+                    None => Some(Aggregate::count_star()),
+                    Some(qn) => r.resolve_col(report, qn, span).map(|col| {
+                        if *distinct {
+                            Aggregate::distinct_of(*func, col)
+                        } else {
+                            Aggregate::of(*func, col)
+                        }
+                    }),
+                };
+                if let Some(wanted) = wanted {
+                    if !aggs.iter().any(|(a, _)| *a == wanted) {
+                        report.push(
+                            Diagnostic::new(
+                                Code::Md015,
+                                format!(
+                                    "HAVING aggregate {} is not in the select list",
+                                    func.name()
+                                ),
+                            )
+                            .with_span(span)
+                            .with_note("GPSJ summary tables can only restrict projected outputs"),
+                        );
+                    }
+                }
+            }
+            ParsedExpr::Col(qn) => {
+                let alias_match =
+                    qn.table.is_none() && aliases.iter().any(|(a, _)| *a == qn.column);
+                if !alias_match {
+                    if let Some(col) = r.resolve_col(report, qn, span) {
+                        if !plain_cols.iter().any(|&(p, _)| p == col) {
+                            report.push(
+                                Diagnostic::new(
+                                    Code::Md015,
+                                    format!(
+                                        "HAVING references '{}', which is neither an output alias \
+                                         nor a group-by column",
+                                        qn.to_sql()
+                                    ),
+                                )
+                                .with_span(span),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if report.error_count() > errors_before {
+        return None;
+    }
+    Some(Resolved { tables, conds })
+}
+
+struct Resolver<'a> {
+    catalog: &'a Catalog,
+    tables: &'a [TableId],
+    unknown_tables: &'a BTreeSet<&'a str>,
+}
+
+impl Resolver<'_> {
+    /// Resolves one possibly-qualified name, emitting at most one
+    /// diagnostic on failure.
+    fn resolve_col(
+        &self,
+        report: &mut CheckReport,
+        qn: &QualName,
+        span: Option<Span>,
+    ) -> Option<ColRef> {
+        match &qn.table {
+            Some(tname) => {
+                let id = match self.catalog.table_id(tname) {
+                    Some(id) => id,
+                    None => {
+                        // Already reported at the FROM clause; repeating it
+                        // for every reference adds noise, not information.
+                        if !self.unknown_tables.contains(tname.as_str()) {
+                            report.push(
+                                Diagnostic::new(Code::Md010, format!("unknown table '{tname}'"))
+                                    .with_span(span)
+                                    .with_help(format!(
+                                        "available tables: {}",
+                                        table_names(self.catalog)
+                                    )),
+                            );
+                        }
+                        return None;
+                    }
+                };
+                if !self.tables.contains(&id) {
+                    report.push(
+                        Diagnostic::new(
+                            Code::Md010,
+                            format!("table '{tname}' is not listed in FROM"),
+                        )
+                        .with_span(span),
+                    );
+                    return None;
+                }
+                let def = self.catalog.def(id).ok()?;
+                match def.schema.index_of(&qn.column) {
+                    Some(col) => Some(ColRef::new(id, col)),
+                    None => {
+                        report.push(
+                            Diagnostic::new(
+                                Code::Md012,
+                                format!("unknown column '{}' in table '{tname}'", qn.column),
+                            )
+                            .with_span(span)
+                            .with_help(format!(
+                                "columns of '{tname}': {}",
+                                column_names(self.catalog, id)
+                            )),
+                        );
+                        None
+                    }
+                }
+            }
+            None => {
+                let mut found: Option<ColRef> = None;
+                for &id in self.tables {
+                    let def = self.catalog.def(id).ok()?;
+                    if let Some(col) = def.schema.index_of(&qn.column) {
+                        if let Some(prev) = found {
+                            let prev_name = self
+                                .catalog
+                                .def(prev.table)
+                                .map(|d| d.name.clone())
+                                .unwrap_or_default();
+                            report.push(
+                                Diagnostic::new(
+                                    Code::Md013,
+                                    format!(
+                                        "ambiguous column '{}': found in '{prev_name}' and '{}'",
+                                        qn.column, def.name
+                                    ),
+                                )
+                                .with_span(span)
+                                .with_help(format!(
+                                    "qualify the reference, e.g. '{prev_name}.{}'",
+                                    qn.column
+                                )),
+                            );
+                            return None;
+                        }
+                        found = Some(ColRef::new(id, col));
+                    }
+                }
+                if found.is_none() {
+                    report.push(
+                        Diagnostic::new(
+                            Code::Md012,
+                            format!("column '{}' not found in any FROM table", qn.column),
+                        )
+                        .with_span(span),
+                    );
+                }
+                found
+            }
+        }
+    }
+}
+
+fn check_literal_type(
+    report: &mut CheckReport,
+    catalog: &Catalog,
+    col: ColRef,
+    lit: &ParsedLiteral,
+    span: Option<Span>,
+) {
+    let Ok(def) = catalog.def(col.table) else {
+        return;
+    };
+    let col_ty = def.schema.column(col.column).dtype;
+    let lit_ty = match lit {
+        ParsedLiteral::Int(_) => DataType::Int,
+        ParsedLiteral::Double(_) => DataType::Double,
+        ParsedLiteral::Str(_) => DataType::Str,
+    };
+    let compatible = col_ty == lit_ty || (col_ty.is_numeric() && lit_ty.is_numeric());
+    if !compatible {
+        report.push(
+            Diagnostic::new(
+                Code::Md015,
+                format!(
+                    "cannot compare {} ({col_ty}) with a {lit_ty} literal",
+                    col.display(catalog)
+                ),
+            )
+            .with_span(span),
+        );
+    }
+}
+
+fn table_names(catalog: &Catalog) -> String {
+    let mut names: Vec<String> = catalog
+        .table_ids()
+        .filter_map(|t| catalog.def(t).ok().map(|d| d.name.clone()))
+        .collect();
+    names.sort_unstable();
+    names.join(", ")
+}
+
+fn column_names(catalog: &Catalog, table: TableId) -> String {
+    catalog
+        .def(table)
+        .map(|d| {
+            d.schema
+                .columns()
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        })
+        .unwrap_or_default()
+}
+
+pub(crate) fn select_span(parsed: &ParsedView, item: usize) -> Option<Span> {
+    parsed.spans.select.get(item).copied()
+}
+
+pub(crate) fn from_span(parsed: &ParsedView, i: usize) -> Option<Span> {
+    parsed.spans.from.get(i).copied()
+}
+
+pub(crate) fn cond_span(parsed: &ParsedView, i: usize) -> Option<Span> {
+    parsed.spans.conditions.get(i).copied()
+}
+
+pub(crate) fn statement_span(parsed: &ParsedView) -> Option<Span> {
+    Some(parsed.spans.statement)
+}

@@ -1,0 +1,1 @@
+SELECT id, COUNT(*) AS n FROM sale, time WHERE sale.timeid = time.id GROUP BY id

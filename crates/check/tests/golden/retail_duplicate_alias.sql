@@ -1,0 +1,2 @@
+SELECT time.month, SUM(price) AS x, COUNT(*) AS x FROM sale, time
+WHERE sale.timeid = time.id GROUP BY time.month

@@ -1,0 +1,4 @@
+SELECT time.id AS timeid, SUM(price) AS total, COUNT(*) AS n
+FROM sale, time
+WHERE sale.timeid = time.id AND time.year = 1997
+GROUP BY time.id

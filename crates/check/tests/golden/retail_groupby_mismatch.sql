@@ -1,0 +1,2 @@
+SELECT time.month, SUM(price) AS total FROM sale, time
+WHERE sale.timeid = time.id GROUP BY time.year

@@ -1,0 +1,4 @@
+CREATE VIEW product_sales_max AS
+SELECT sale.productid, MAX(sale.price) AS MaxPrice, SUM(sale.price) AS TotalPrice,
+       COUNT(*) AS TotalCount
+FROM sale GROUP BY sale.productid

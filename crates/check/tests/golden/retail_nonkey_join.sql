@@ -1,0 +1,1 @@
+SELECT COUNT(*) AS n FROM sale, time WHERE sale.timeid = time.month

@@ -1,0 +1,2 @@
+SELECT store.city, SUM(sale.price) AS revenue
+FROM sale, store WHERE sale.storeid = store.id GROUP BY store.city

@@ -1,0 +1,2 @@
+SELECT sale.productid, MIN(sale.productid) AS dup, COUNT(*) AS n
+FROM sale GROUP BY sale.productid

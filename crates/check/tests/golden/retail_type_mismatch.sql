@@ -1,0 +1,2 @@
+SELECT time.month, COUNT(*) AS n FROM sale, time
+WHERE sale.timeid = time.id AND sale.price = 'cheap' GROUP BY time.month

@@ -1,0 +1,1 @@
+SELECT sale.nope, COUNT(*) AS n FROM sale GROUP BY sale.nope

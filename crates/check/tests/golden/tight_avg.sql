@@ -1,0 +1,3 @@
+CREATE VIEW store_revenue AS
+SELECT store.city, SUM(price) AS Revenue, AVG(price) AS AvgTicket, COUNT(*) AS Tickets
+FROM sale, store WHERE sale.storeid = store.id GROUP BY store.city

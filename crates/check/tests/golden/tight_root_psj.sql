@@ -1,0 +1,2 @@
+SELECT sale.id AS sid, MAX(sale.price) AS maxp, COUNT(*) AS n
+FROM sale GROUP BY sale.id

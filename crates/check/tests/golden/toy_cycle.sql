@@ -1,0 +1,2 @@
+SELECT COUNT(*) AS n FROM alpha, beta
+WHERE alpha.betaid = beta.id AND beta.alphaid = alpha.id

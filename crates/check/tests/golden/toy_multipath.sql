@@ -1,0 +1,5 @@
+SELECT customer.region, SUM(orders.amount) AS total, COUNT(*) AS n
+FROM orders, shipment, customer
+WHERE orders.customerid = customer.id AND orders.shipmentid = shipment.id
+  AND shipment.customerid = customer.id
+GROUP BY customer.region

@@ -1,0 +1,2 @@
+SELECT device.site, SUM(event.value) AS total, COUNT(*) AS n
+FROM event, device WHERE event.deviceid = device.id GROUP BY device.site

@@ -1,0 +1,243 @@
+//! Edge cases for the `Need`/`Need₀` machinery (paper Definitions 3–4)
+//! that the in-crate unit tests do not cover: single-table views,
+//! disconnected graphs, self-referential foreign keys, and the
+//! root-omitted shape that Algorithm 3.2 produces for key-grouped views.
+
+use std::collections::BTreeSet;
+
+use md_algebra::{AggFunc, Aggregate, CmpOp, ColRef, Condition, GpsjView, SelectItem};
+use md_core::derive;
+use md_core::join_graph::ExtendedJoinGraph;
+use md_core::need::{in_need_of_another, need, need0, need_others};
+use md_relation::{Catalog, DataType, Schema, TableId};
+
+fn star() -> (Catalog, TableId, TableId, TableId) {
+    let mut cat = Catalog::new();
+    let time = cat
+        .add_table(
+            "time",
+            Schema::from_pairs(&[("id", DataType::Int), ("month", DataType::Int)]),
+            0,
+        )
+        .unwrap();
+    let product = cat
+        .add_table(
+            "product",
+            Schema::from_pairs(&[("id", DataType::Int), ("brand", DataType::Str)]),
+            0,
+        )
+        .unwrap();
+    let sale = cat
+        .add_table(
+            "sale",
+            Schema::from_pairs(&[
+                ("id", DataType::Int),
+                ("timeid", DataType::Int),
+                ("productid", DataType::Int),
+                ("price", DataType::Double),
+            ]),
+            0,
+        )
+        .unwrap();
+    cat.add_foreign_key(sale, 1, time).unwrap();
+    cat.add_foreign_key(sale, 2, product).unwrap();
+    (cat, sale, time, product)
+}
+
+#[test]
+fn single_table_view_needs_nothing() {
+    let (cat, sale, _, _) = star();
+    let view = GpsjView::new(
+        "v",
+        vec![sale],
+        vec![
+            SelectItem::group_by(ColRef::new(sale, 2), "pid"),
+            SelectItem::agg(Aggregate::count_star(), "n"),
+        ],
+        vec![],
+    );
+    let g = ExtendedJoinGraph::build(&view, &cat).unwrap();
+    assert_eq!(g.tables().len(), 1);
+    assert_eq!(g.root(), sale);
+    // With no other table, nothing can need the root and the root can
+    // need nothing beyond (possibly) itself.
+    assert_eq!(need_others(&g, sale), BTreeSet::new());
+    assert!(!in_need_of_another(&g, sale));
+}
+
+#[test]
+fn single_table_key_grouped_has_empty_need() {
+    let (cat, sale, _, _) = star();
+    let view = GpsjView::new(
+        "v",
+        vec![sale],
+        vec![
+            SelectItem::group_by(ColRef::new(sale, 0), "sid"),
+            SelectItem::agg(Aggregate::of(AggFunc::Sum, ColRef::new(sale, 3)), "total"),
+        ],
+        vec![],
+    );
+    let g = ExtendedJoinGraph::build(&view, &cat).unwrap();
+    // Root annotated k: Definition 3's first case, Need = ∅ outright.
+    assert_eq!(need(&g, sale), BTreeSet::new());
+    assert_eq!(need0(&g, sale), BTreeSet::new());
+}
+
+#[test]
+fn disconnected_graph_is_rejected_at_build() {
+    let (cat, sale, time, _) = star();
+    // sale and time listed but never joined: no tree covers both.
+    let view = GpsjView::new(
+        "v",
+        vec![sale, time],
+        vec![SelectItem::agg(Aggregate::count_star(), "n")],
+        vec![],
+    );
+    assert!(ExtendedJoinGraph::build(&view, &cat).is_err());
+}
+
+#[test]
+fn self_referential_fk_does_not_confuse_need() {
+    // employee.managerid references employee itself. GPSJ forbids
+    // self-joins, so the edge never materializes in a graph; the declared
+    // FK must not leak into Need computation.
+    let mut cat = Catalog::new();
+    let employee = cat
+        .add_table(
+            "employee",
+            Schema::from_pairs(&[
+                ("id", DataType::Int),
+                ("managerid", DataType::Int),
+                ("salary", DataType::Double),
+            ]),
+            0,
+        )
+        .unwrap();
+    cat.add_foreign_key(employee, 1, employee).unwrap();
+    let view = GpsjView::new(
+        "v",
+        vec![employee],
+        vec![
+            SelectItem::group_by(ColRef::new(employee, 1), "mgr"),
+            SelectItem::agg(Aggregate::of(AggFunc::Sum, ColRef::new(employee, 2)), "pay"),
+            SelectItem::agg(Aggregate::count_star(), "n"),
+        ],
+        vec![],
+    );
+    let g = ExtendedJoinGraph::build(&view, &cat).unwrap();
+    assert_eq!(g.tables().len(), 1);
+    assert!(g.children(employee).next().is_none());
+    assert!(!in_need_of_another(&g, employee));
+}
+
+#[test]
+fn key_grouped_dimensions_leave_root_unneeded() {
+    // GROUP BY both dimension keys: every dimension is annotated k, so
+    // Need(dim) = ∅ and the fact table is in no other Need set — the
+    // precondition for Algorithm 3.2 to omit the root auxiliary view.
+    let (cat, sale, time, product) = star();
+    let view = GpsjView::new(
+        "v",
+        vec![sale, time, product],
+        vec![
+            SelectItem::group_by(ColRef::new(time, 0), "tid"),
+            SelectItem::group_by(ColRef::new(product, 0), "pid"),
+            SelectItem::agg(Aggregate::of(AggFunc::Sum, ColRef::new(sale, 3)), "total"),
+            SelectItem::agg(Aggregate::count_star(), "n"),
+        ],
+        vec![
+            Condition::eq_cols(ColRef::new(sale, 1), ColRef::new(time, 0)),
+            Condition::eq_cols(ColRef::new(sale, 2), ColRef::new(product, 0)),
+        ],
+    );
+    let g = ExtendedJoinGraph::build(&view, &cat).unwrap();
+    assert_eq!(need(&g, time), BTreeSet::new());
+    assert_eq!(need(&g, product), BTreeSet::new());
+    assert!(!in_need_of_another(&g, sale));
+    // And the derived plan indeed drops the fact auxiliary view.
+    let plan = derive::derive(&view, &cat).unwrap();
+    assert!(plan.root_omitted());
+}
+
+#[test]
+fn need_propagates_down_a_snowflake_chain() {
+    // sale → product → category, grouped on the far end of the chain:
+    // Need₀(sale) must pull in the whole grouped subtree, and every
+    // link's Need set includes its parent chain.
+    let mut cat = Catalog::new();
+    let category = cat
+        .add_table(
+            "category",
+            Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]),
+            0,
+        )
+        .unwrap();
+    let product = cat
+        .add_table(
+            "product",
+            Schema::from_pairs(&[("id", DataType::Int), ("categoryid", DataType::Int)]),
+            0,
+        )
+        .unwrap();
+    let sale = cat
+        .add_table(
+            "sale",
+            Schema::from_pairs(&[
+                ("id", DataType::Int),
+                ("productid", DataType::Int),
+                ("price", DataType::Double),
+            ]),
+            0,
+        )
+        .unwrap();
+    cat.add_foreign_key(product, 1, category).unwrap();
+    cat.add_foreign_key(sale, 1, product).unwrap();
+    let view = GpsjView::new(
+        "v",
+        vec![sale, product, category],
+        vec![
+            SelectItem::group_by(ColRef::new(category, 1), "name"),
+            SelectItem::agg(Aggregate::of(AggFunc::Sum, ColRef::new(sale, 2)), "total"),
+            SelectItem::agg(Aggregate::count_star(), "n"),
+        ],
+        vec![
+            Condition::eq_cols(ColRef::new(sale, 1), ColRef::new(product, 0)),
+            Condition::eq_cols(ColRef::new(product, 1), ColRef::new(category, 0)),
+        ],
+    );
+    let g = ExtendedJoinGraph::build(&view, &cat).unwrap();
+    // Need₀ of the root collects the grouped subtree.
+    assert_eq!(need0(&g, sale), BTreeSet::from([product, category]));
+    assert_eq!(need(&g, sale), BTreeSet::from([product, category]));
+    // Mid-chain: {parent} ∪ Need(parent).
+    assert_eq!(need(&g, product), BTreeSet::from([sale, product, category]));
+    // Everything is in somebody else's Need set.
+    assert!(in_need_of_another(&g, sale));
+    assert!(in_need_of_another(&g, product));
+    assert!(in_need_of_another(&g, category));
+}
+
+#[test]
+fn comparison_conditions_do_not_create_edges() {
+    // A literal selection on the dimension adds a condition column but no
+    // join edge; Need must be computed over join edges alone.
+    let (cat, sale, time, product) = star();
+    let view = GpsjView::new(
+        "v",
+        vec![sale, time, product],
+        vec![
+            SelectItem::group_by(ColRef::new(time, 1), "month"),
+            SelectItem::agg(Aggregate::count_star(), "n"),
+        ],
+        vec![
+            Condition::cmp_lit(ColRef::new(time, 1), CmpOp::Ge, 6i64),
+            Condition::eq_cols(ColRef::new(sale, 1), ColRef::new(time, 0)),
+            Condition::eq_cols(ColRef::new(sale, 2), ColRef::new(product, 0)),
+        ],
+    );
+    let g = ExtendedJoinGraph::build(&view, &cat).unwrap();
+    assert_eq!(g.children(sale).count(), 2);
+    assert_eq!(need(&g, sale), BTreeSet::from([time]));
+    // product holds no grouped column and no condition: needed by nobody.
+    assert!(!in_need_of_another(&g, product));
+}

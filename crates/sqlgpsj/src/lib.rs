@@ -32,6 +32,6 @@ pub mod resolve;
 pub mod token;
 
 pub use error::{SqlError, SqlResult};
-pub use parser::{parse, ParsedView};
+pub use parser::{parse, ParsedSpans, ParsedView, Span};
 pub use print::{aux_view_to_sql, view_to_sql};
 pub use resolve::{parse_view, resolve};

@@ -20,6 +20,41 @@ use md_algebra::{AggFunc, CmpOp};
 use crate::error::{SqlError, SqlResult};
 use crate::token::{tokenize, Keyword, Token, TokenKind};
 
+/// A half-open byte range `[start, end)` into the statement source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset just past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+}
+
+/// Source spans for every clause element of a [`ParsedView`], parallel to
+/// the corresponding vectors. Diagnostics (the `md-check` crate) use these
+/// to point at the offending SQL.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedSpans {
+    /// The whole statement.
+    pub statement: Span,
+    /// One span per select item.
+    pub select: Vec<Span>,
+    /// One span per `FROM` table name.
+    pub from: Vec<Span>,
+    /// One span per `WHERE` conjunct.
+    pub conditions: Vec<Span>,
+    /// One span per `GROUP BY` column.
+    pub group_by: Vec<Span>,
+    /// One span per `HAVING` conjunct.
+    pub having: Vec<Span>,
+}
+
 /// A possibly-qualified column name, unresolved.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QualName {
@@ -122,6 +157,8 @@ pub struct ParsedView {
     pub group_by: Vec<QualName>,
     /// `HAVING` conjuncts.
     pub having: Vec<ParsedHavingCond>,
+    /// Source spans for every clause element, parallel to the vectors above.
+    pub spans: ParsedSpans,
 }
 
 /// Parses a statement.
@@ -132,7 +169,9 @@ pub fn parse(input: &str) -> SqlResult<ParsedView> {
         pos: 0,
         input_len: input.len(),
     };
-    let view = p.statement()?;
+    let stmt_start = p.tokens.first().map(|t| t.offset).unwrap_or(0);
+    let mut view = p.statement()?;
+    view.spans.statement = p.closed_span(stmt_start);
     p.eat_optional(&TokenKind::Semicolon);
     if let Some(tok) = p.peek() {
         return Err(SqlError::parse(
@@ -180,6 +219,15 @@ impl Parser {
 
     fn offset(&self) -> usize {
         self.peek().map(|t| t.offset).unwrap_or(self.input_len)
+    }
+
+    /// The span from `start` to the end of the last consumed token.
+    fn closed_span(&self, start: usize) -> Span {
+        let end = self.tokens[..self.pos]
+            .last()
+            .map(|t| t.end)
+            .unwrap_or(start);
+        Span::new(start, end)
     }
 
     fn expect(&mut self, kind: &TokenKind) -> SqlResult<()> {
@@ -250,39 +298,65 @@ impl Parser {
     }
 
     fn query(&mut self) -> SqlResult<ParsedView> {
+        let mut spans = ParsedSpans::default();
         self.expect_keyword(Keyword::Select)?;
-        let mut select = vec![self.item()?];
-        while self.peek_kind() == Some(&TokenKind::Comma) {
-            self.pos += 1;
+        let mut select = Vec::new();
+        loop {
+            let start = self.offset();
             select.push(self.item()?);
+            spans.select.push(self.closed_span(start));
+            if self.peek_kind() == Some(&TokenKind::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
         }
         self.expect_keyword(Keyword::From)?;
-        let mut from = vec![self.ident()?];
-        while self.peek_kind() == Some(&TokenKind::Comma) {
-            self.pos += 1;
+        let mut from = Vec::new();
+        loop {
+            let start = self.offset();
             from.push(self.ident()?);
+            spans.from.push(self.closed_span(start));
+            if self.peek_kind() == Some(&TokenKind::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
         }
         let mut conditions = Vec::new();
         if self.eat_keyword(Keyword::Where) {
-            conditions.push(self.condition()?);
-            while self.eat_keyword(Keyword::And) {
+            loop {
+                let start = self.offset();
                 conditions.push(self.condition()?);
+                spans.conditions.push(self.closed_span(start));
+                if !self.eat_keyword(Keyword::And) {
+                    break;
+                }
             }
         }
         let mut group_by = Vec::new();
         if self.eat_keyword(Keyword::Group) {
             self.expect_keyword(Keyword::By)?;
-            group_by.push(self.qualname()?);
-            while self.peek_kind() == Some(&TokenKind::Comma) {
-                self.pos += 1;
+            loop {
+                let start = self.offset();
                 group_by.push(self.qualname()?);
+                spans.group_by.push(self.closed_span(start));
+                if self.peek_kind() == Some(&TokenKind::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
             }
         }
         let mut having = Vec::new();
         if self.eat_keyword(Keyword::Having) {
-            having.push(self.having_cond()?);
-            while self.eat_keyword(Keyword::And) {
+            loop {
+                let start = self.offset();
                 having.push(self.having_cond()?);
+                spans.having.push(self.closed_span(start));
+                if !self.eat_keyword(Keyword::And) {
+                    break;
+                }
             }
         }
         Ok(ParsedView {
@@ -292,6 +366,7 @@ impl Parser {
             conditions,
             group_by,
             having,
+            spans,
         })
     }
 
@@ -581,6 +656,35 @@ mod tests {
     fn group_by_multiple_columns() {
         let v = parse("SELECT a, b, COUNT(*) FROM t GROUP BY a, b").unwrap();
         assert_eq!(v.group_by.len(), 2);
+    }
+
+    #[test]
+    fn clause_spans_cover_their_source_text() {
+        let sql = "SELECT a, SUM(b) AS s FROM t, u WHERE t.x = u.id AND t.y > 3 GROUP BY a";
+        let v = parse(sql).unwrap();
+        let text = |s: Span| &sql[s.start..s.end];
+        assert_eq!(v.spans.select.len(), 2);
+        assert_eq!(text(v.spans.select[0]), "a");
+        assert_eq!(text(v.spans.select[1]), "SUM(b) AS s");
+        assert_eq!(v.spans.from.len(), 2);
+        assert_eq!(text(v.spans.from[0]), "t");
+        assert_eq!(text(v.spans.from[1]), "u");
+        assert_eq!(v.spans.conditions.len(), 2);
+        assert_eq!(text(v.spans.conditions[0]), "t.x = u.id");
+        assert_eq!(text(v.spans.conditions[1]), "t.y > 3");
+        assert_eq!(v.spans.group_by.len(), 1);
+        assert_eq!(text(v.spans.group_by[0]), "a");
+        assert_eq!(text(v.spans.statement), sql);
+    }
+
+    #[test]
+    fn statement_span_excludes_trailing_semicolon() {
+        let sql = "SELECT a FROM t;";
+        let v = parse(sql).unwrap();
+        assert_eq!(
+            &sql[v.spans.statement.start..v.spans.statement.end],
+            "SELECT a FROM t"
+        );
     }
 
     #[test]

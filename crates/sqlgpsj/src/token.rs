@@ -9,13 +9,16 @@ use std::fmt;
 
 use crate::error::{SqlError, SqlResult};
 
-/// A lexical token with its source offset (for error messages).
+/// A lexical token with its source offsets (for error messages and
+/// diagnostic spans).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token kind and payload.
     pub kind: TokenKind,
     /// Byte offset in the input where the token starts.
     pub offset: usize,
+    /// Byte offset just past the token's last character.
+    pub end: usize,
 }
 
 /// Token kinds.
@@ -135,9 +138,11 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
     while i < bytes.len() {
         let c = bytes[i] as char;
         let start = i;
-        match c {
+        // Each arm yields the token kind and the offset just past it.
+        let (kind, next) = match c {
             c if c.is_ascii_whitespace() => {
                 i += 1;
+                continue;
             }
             '(' | ')' | ',' | '.' | '*' | ';' => {
                 let kind = match c {
@@ -148,77 +153,41 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
                     '*' => TokenKind::Star,
                     _ => TokenKind::Semicolon,
                 };
-                tokens.push(Token {
-                    kind,
-                    offset: start,
-                });
-                i += 1;
+                (kind, i + 1)
             }
-            '=' => {
-                tokens.push(Token {
-                    kind: TokenKind::Eq,
-                    offset: start,
-                });
-                i += 1;
-            }
-            '<' => {
-                let kind = match bytes.get(i + 1).map(|&b| b as char) {
-                    Some('>') => {
-                        i += 1;
-                        TokenKind::Ne
-                    }
-                    Some('=') => {
-                        i += 1;
-                        TokenKind::Le
-                    }
-                    _ => TokenKind::Lt,
-                };
-                tokens.push(Token {
-                    kind,
-                    offset: start,
-                });
-                i += 1;
-            }
-            '>' => {
-                let kind = match bytes.get(i + 1).map(|&b| b as char) {
-                    Some('=') => {
-                        i += 1;
-                        TokenKind::Ge
-                    }
-                    _ => TokenKind::Gt,
-                };
-                tokens.push(Token {
-                    kind,
-                    offset: start,
-                });
-                i += 1;
-            }
+            '=' => (TokenKind::Eq, i + 1),
+            '<' => match bytes.get(i + 1).map(|&b| b as char) {
+                Some('>') => (TokenKind::Ne, i + 2),
+                Some('=') => (TokenKind::Le, i + 2),
+                _ => (TokenKind::Lt, i + 1),
+            },
+            '>' => match bytes.get(i + 1).map(|&b| b as char) {
+                Some('=') => (TokenKind::Ge, i + 2),
+                _ => (TokenKind::Gt, i + 1),
+            },
             '\'' => {
-                i += 1;
+                let mut j = i + 1;
                 let mut s = String::new();
                 loop {
-                    match bytes.get(i) {
+                    match bytes.get(j) {
                         None => return Err(SqlError::lex(start, "unterminated string literal")),
                         Some(b'\'') => {
                             // '' escapes a quote.
-                            if bytes.get(i + 1) == Some(&b'\'') {
+                            if bytes.get(j + 1) == Some(&b'\'') {
                                 s.push('\'');
-                                i += 2;
+                                j += 2;
                             } else {
-                                i += 1;
+                                j += 1;
                                 break;
                             }
                         }
                         Some(&b) => {
                             s.push(b as char);
-                            i += 1;
+                            j += 1;
                         }
                     }
                 }
-                tokens.push(Token {
-                    kind: TokenKind::Str(s),
-                    offset: start,
-                });
+                (TokenKind::Str(s), j)
             }
             c if c.is_ascii_digit()
                 || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
@@ -250,11 +219,7 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
                             SqlError::lex(start, format!("invalid integer '{text}'"))
                         })?)
                     };
-                tokens.push(Token {
-                    kind,
-                    offset: start,
-                });
-                i = j;
+                (kind, j)
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut j = i + 1;
@@ -271,19 +236,24 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
                     Some(k) => TokenKind::Keyword(k),
                     None => TokenKind::Ident(word.to_owned()),
                 };
-                tokens.push(Token {
-                    kind,
-                    offset: start,
-                });
-                i = j;
+                (kind, j)
             }
-            other => {
+            _ => {
+                // Report the full (possibly multi-byte) character; `input`
+                // is valid UTF-8 even when the byte at `start` is not ASCII.
+                let other = input[start..].chars().next().unwrap_or('\u{fffd}');
                 return Err(SqlError::lex(
                     start,
                     format!("unexpected character '{other}'"),
-                ))
+                ));
             }
-        }
+        };
+        tokens.push(Token {
+            kind,
+            offset: start,
+            end: next,
+        });
+        i = next;
     }
     Ok(tokens)
 }
@@ -396,5 +366,25 @@ mod tests {
         assert_eq!(tokens[0].offset, 0);
         assert_eq!(tokens[1].offset, 2);
         assert_eq!(tokens[2].offset, 4);
+    }
+
+    #[test]
+    fn end_offsets_cover_the_token_text() {
+        let input = "ab <= 'x''y' 12.5";
+        let tokens = tokenize(input).unwrap();
+        assert_eq!((tokens[0].offset, tokens[0].end), (0, 2)); // ab
+        assert_eq!((tokens[1].offset, tokens[1].end), (3, 5)); // <=
+        assert_eq!((tokens[2].offset, tokens[2].end), (6, 12)); // 'x''y'
+        assert_eq!((tokens[3].offset, tokens[3].end), (13, 17)); // 12.5
+        assert_eq!(&input[tokens[3].offset..tokens[3].end], "12.5");
+    }
+
+    #[test]
+    fn non_ascii_input_is_an_error_not_a_panic() {
+        // Multi-byte characters must produce a lex error (with the whole
+        // character in the message), never a byte-slicing panic.
+        let e = tokenize("SELECT é FROM t").unwrap_err();
+        assert!(e.to_string().contains('é'));
+        assert!(tokenize("€").is_err());
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use md_check::CheckReport;
 use md_core::CoreError;
 use md_maintain::MaintainError;
 use md_relation::RelationError;
@@ -17,6 +18,10 @@ pub enum WarehouseError {
     DuplicateSummary(String),
     /// No summary with this name exists.
     UnknownSummary(String),
+    /// Strict-mode registration refused a definition: the `md-check`
+    /// analyzer found error-level diagnostics. The full report is
+    /// carried so callers can render or serialize it.
+    Check(Box<CheckReport>),
     /// Error from the SQL front end.
     Sql(SqlError),
     /// Error from the derivation layer.
@@ -35,6 +40,13 @@ impl fmt::Display for WarehouseError {
             }
             WarehouseError::UnknownSummary(name) => {
                 write!(f, "no summary view named '{name}'")
+            }
+            WarehouseError::Check(report) => {
+                write!(
+                    f,
+                    "view definition rejected in strict mode:\n{}",
+                    report.render()
+                )
             }
             WarehouseError::Sql(e) => write!(f, "{e}"),
             WarehouseError::Core(e) => write!(f, "{e}"),

@@ -171,6 +171,7 @@ pub struct WarehouseBuilder {
     targeted_updates: bool,
     workers: usize,
     coalesce: bool,
+    strict: bool,
 }
 
 impl Default for WarehouseBuilder {
@@ -181,6 +182,7 @@ impl Default for WarehouseBuilder {
             targeted_updates: true,
             workers: 1,
             coalesce: true,
+            strict: false,
         }
     }
 }
@@ -226,6 +228,17 @@ impl WarehouseBuilder {
     /// (enabled by default; the ablation knob of the parallel bench).
     pub fn coalesce(mut self, enabled: bool) -> Self {
         self.coalesce = enabled;
+        self
+    }
+
+    /// Enables strict registration: `add_summary_sql` / `add_summary`
+    /// first run the `md-check` static analyzer and refuse definitions
+    /// with error-level diagnostics ([`WarehouseError::Check`] carries
+    /// the full report). Warnings and notes do not block registration.
+    /// Off by default; snapshot restore is never strict-checked (the
+    /// definitions were accepted when first registered).
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
         self
     }
 
@@ -433,14 +446,31 @@ impl Warehouse {
     /// views (Algorithm 3.2), materializes them and the view from `db`
     /// (the one-time initial load), and returns the view name.
     pub fn add_summary_sql(&mut self, sql: &str, db: &Database) -> Result<String> {
+        if self.config.strict {
+            let report = md_check::check_sql(sql, &self.catalog);
+            if report.has_errors() {
+                return Err(WarehouseError::Check(Box::new(report)));
+            }
+        }
         let view = parse_view(sql, &self.catalog, "unnamed_summary")?;
         let name = view.name.clone();
-        self.add_summary(view, db)?;
+        self.register(view, db)?;
         Ok(name)
     }
 
     /// Registers an already-constructed view definition.
     pub fn add_summary(&mut self, view: GpsjView, db: &Database) -> Result<()> {
+        if self.config.strict {
+            let report = md_check::check_view(&view, &self.catalog);
+            if report.has_errors() {
+                return Err(WarehouseError::Check(Box::new(report)));
+            }
+        }
+        self.register(view, db)
+    }
+
+    /// Shared registration path; strict-mode checks have already run.
+    fn register(&mut self, view: GpsjView, db: &Database) -> Result<()> {
         if self.engines.contains_key(&view.name) {
             return Err(WarehouseError::DuplicateSummary(view.name));
         }
@@ -1004,6 +1034,40 @@ mod tests {
                 .workers(),
             1
         );
+    }
+
+    #[test]
+    fn strict_mode_rejects_error_level_definitions() {
+        let (db, _) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let mut wh = Warehouse::builder().strict().build(db.catalog());
+        // Unknown column: strict mode surfaces the full check report.
+        let err = wh
+            .add_summary_sql(
+                "SELECT sale.nope, COUNT(*) AS n FROM sale GROUP BY sale.nope",
+                &db,
+            )
+            .unwrap_err();
+        match err {
+            WarehouseError::Check(report) => {
+                assert!(report.has_errors());
+                assert!(report.render().contains("MD012"));
+            }
+            other => panic!("expected Check error, got {other}"),
+        }
+        assert_eq!(wh.summaries().count(), 0);
+        // A clean definition registers normally under strict mode.
+        wh.add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db)
+            .unwrap();
+        assert_eq!(wh.summaries().count(), 1);
+        // Non-strict warehouses keep the lighter SQL error path.
+        let mut lax = Warehouse::new(db.catalog());
+        assert!(matches!(
+            lax.add_summary_sql(
+                "SELECT sale.nope, COUNT(*) AS n FROM sale GROUP BY sale.nope",
+                &db
+            ),
+            Err(WarehouseError::Sql(_))
+        ));
     }
 
     #[test]

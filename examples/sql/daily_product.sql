@@ -1,0 +1,10 @@
+-- Grouped by both dimension keys: the shape whose fact auxiliary view
+-- Algorithm 3.2 eliminates under tight update contracts. The analyzer's
+-- plan audit (MD040/MD041) comments on what the contract leaves on the
+-- table.
+CREATE VIEW daily_product AS
+SELECT time.id AS timeid, product.id AS productid, SUM(price) AS TotalPrice,
+       COUNT(*) AS TotalCount
+FROM sale, time, product
+WHERE sale.timeid = time.id AND sale.productid = product.id
+GROUP BY time.id, product.id;

@@ -1,0 +1,9 @@
+-- The paper's Section 1.1 running example: monthly 1997 totals with a
+-- DISTINCT brand count. `mindetail check` reports the DISTINCT aggregate
+-- as non-CSMAS (MD031) but finds no errors.
+CREATE VIEW product_sales AS
+SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount,
+       COUNT(DISTINCT brand) AS DifferentBrands
+FROM sale, time, product
+WHERE time.year = 1997 AND sale.timeid = time.id AND sale.productid = product.id
+GROUP BY time.month;

@@ -1,0 +1,8 @@
+-- Section 3.2: a per-product extremum next to CSMAS totals. Under a
+-- general change regime the MAX is flagged MD030 (deletions can remove
+-- the current extremum).
+CREATE VIEW product_sales_max AS
+SELECT sale.productid, MAX(sale.price) AS MaxPrice, SUM(sale.price) AS TotalPrice,
+       COUNT(*) AS TotalCount
+FROM sale
+GROUP BY sale.productid;

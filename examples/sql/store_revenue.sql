@@ -1,0 +1,7 @@
+-- Store-level revenue with an AVG: the analyzer notes the SUM/COUNT
+-- rewrite (MD050) that keeps the view self-maintainable.
+CREATE VIEW store_revenue AS
+SELECT store.city, SUM(price) AS Revenue, AVG(price) AS AvgTicket, COUNT(*) AS Tickets
+FROM sale, store
+WHERE sale.storeid = store.id
+GROUP BY store.city;
