@@ -16,6 +16,8 @@
 //! \verify                    oracle-check every summary (demo only)
 //! \audit                     source-free integrity audit (V vs X, indexes)
 //! \sched                     batch-scheduler counters and stage timings
+//! \metrics [--json]          metrics registry (Prometheus text or JSON)
+//! \trace on|off|dump FILE    toggle span tracing / export a Chrome trace
 //! \deadletters               rejected batches kept for inspection
 //! \wal                       change-log status (records, bytes)
 //! \save FILE | \restore FILE persist / restart from the warehouse image
@@ -23,7 +25,9 @@
 //! \help | \quit
 //! ```
 //!
-//! Pass `--workers N` to fan maintenance out across N worker threads.
+//! Pass `--workers N` to fan maintenance out across N worker threads, and
+//! `--trace-out FILE.json` to record spans for the whole session and dump
+//! a Chrome trace-event file (`chrome://tracing` / Perfetto) at exit.
 //!
 //! Batch mode: `mindetail check FILE.sql... [--json]` analyzes every GPSJ
 //! statement in the given files against the retail catalog and exits
@@ -34,8 +38,9 @@
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
+use md_bench::format_sched;
 use md_core::human_bytes;
-use md_warehouse::{ChangeBatch, Warehouse, WarehouseBuilder};
+use md_warehouse::{ChangeBatch, ObsConfig, Warehouse, WarehouseBuilder};
 use md_workload::{
     generate_retail, sale_changes, views, Contracts, RetailParams, RetailSchema, UpdateMix,
 };
@@ -46,13 +51,18 @@ struct Shell {
     schema: RetailSchema,
     churn_seed: u64,
     workers: usize,
+    /// Observability mode, reused when `\restore`/`\recover` rebuild the
+    /// warehouse so the session keeps its metrics and tracing setup.
+    obs_config: ObsConfig,
     /// Original SQL text per summary, for `\check NAME` span rendering.
     sql_by_name: BTreeMap<String, String>,
 }
 
 impl Shell {
     fn builder(&self) -> WarehouseBuilder {
-        Warehouse::builder().workers(self.workers)
+        Warehouse::builder()
+            .workers(self.workers)
+            .observe(self.obs_config)
     }
 }
 
@@ -67,14 +77,30 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1).cloned());
+    // The shell always runs with metrics on (the registry is what
+    // `\metrics` shows); tracing starts enabled only when a trace file
+    // was requested, and `\trace on` can flip it any time.
+    let obs_config = if trace_out.is_some() {
+        ObsConfig::full()
+    } else {
+        ObsConfig::metrics()
+    };
     let (db, schema) = generate_retail(RetailParams::small(), Contracts::Tight);
-    let wh = Warehouse::builder().workers(workers).build(db.catalog());
+    let wh = Warehouse::builder()
+        .workers(workers)
+        .observe(obs_config)
+        .build(db.catalog());
     let mut shell = Shell {
         wh,
         db,
         schema,
         churn_seed: 1,
         workers,
+        obs_config,
         sql_by_name: BTreeMap::new(),
     };
 
@@ -98,6 +124,7 @@ fn main() {
             println!("mindetail> {cmd}");
             shell.exec(cmd);
         }
+        dump_trace(&shell, trace_out.as_deref());
         return;
     }
 
@@ -145,6 +172,24 @@ fn main() {
                 }
             }
         }
+    }
+    dump_trace(&shell, trace_out.as_deref());
+}
+
+/// Writes the session's Chrome trace to `path` when `--trace-out` was
+/// given (every entry mode ends here or calls it before returning).
+fn dump_trace(shell: &Shell, path: Option<&str>) {
+    let Some(path) = path else {
+        return;
+    };
+    let json = shell.wh.trace_json();
+    match std::fs::write(path, &json) {
+        Ok(()) => println!(
+            "wrote {} span(s) ({} bytes) to {path}",
+            shell.wh.obs().tracer().len(),
+            json.len()
+        ),
+        Err(e) => eprintln!("error: cannot write trace to {path}: {e}"),
     }
 }
 
@@ -265,7 +310,8 @@ impl Shell {
                     "CREATE VIEW ... ;  register a GPSJ summary view\n\
                      \\tables  \\views  \\explain NAME  \\check [NAME]  \\rows NAME [N]\n\
                      \\storage  \\shared  \\churn N  \\verify\n\
-                     \\audit  \\sched  \\deadletters  \\wal\n\
+                     \\audit  \\sched  \\metrics [--json]  \\trace on|off|dump FILE\n\
+                     \\deadletters  \\wal\n\
                      \\save FILE  \\restore FILE  \\recover FILE  \\quit"
                 );
             }
@@ -405,34 +451,45 @@ impl Shell {
                 }
             }
             "\\sched" => {
-                let s = self.wh.scheduler_stats();
-                println!(
-                    "workers: {}   batches applied: {}",
-                    self.wh.workers(),
-                    s.batches_applied
-                );
-                println!(
-                    "changes: {} submitted -> {} applied after coalescing",
-                    s.changes_submitted, s.changes_applied
-                );
-                println!(
-                    "stage wall time: coalesce {:.3}ms  fan-out {:.3}ms  wal {:.3}ms  commit {:.3}ms",
-                    s.coalesce_nanos as f64 / 1e6,
-                    s.fanout_nanos as f64 / 1e6,
-                    s.wal_nanos as f64 / 1e6,
-                    s.commit_nanos as f64 / 1e6
-                );
                 let names: Vec<String> = self.wh.summaries().map(|s| s.to_owned()).collect();
+                let mut per_summary = Vec::with_capacity(names.len());
                 for name in names {
                     let st = self.wh.stats(&name).map_err(|e| e.to_string())?;
-                    println!(
-                        "  {:<24} prepare {:.3}ms  commit {:.3}ms",
-                        name,
-                        st.prepare_nanos as f64 / 1e6,
-                        st.commit_nanos as f64 / 1e6
-                    );
+                    per_summary.push((name, st));
+                }
+                print!(
+                    "{}",
+                    format_sched(self.wh.workers(), &self.wh.scheduler_stats(), &per_summary)
+                );
+            }
+            "\\metrics" => {
+                if arg1 == Some("--json") {
+                    println!("{}", self.wh.metrics_json());
+                } else {
+                    print!("{}", self.wh.metrics_prometheus());
                 }
             }
+            "\\trace" => match arg1 {
+                Some("on") => {
+                    self.wh.set_tracing(true);
+                    println!("span tracing on");
+                }
+                Some("off") => {
+                    self.wh.set_tracing(false);
+                    println!("span tracing off");
+                }
+                Some("dump") => {
+                    let path = arg2.ok_or("usage: \\trace dump FILE")?;
+                    let json = self.wh.trace_json();
+                    std::fs::write(path, &json).map_err(|e| e.to_string())?;
+                    println!(
+                        "wrote {} span(s) ({} bytes) to {path}",
+                        self.wh.obs().tracer().len(),
+                        json.len()
+                    );
+                }
+                _ => return Err("usage: \\trace on|off|dump FILE".to_owned()),
+            },
             "\\deadletters" => {
                 let letters = self.wh.dead_letters();
                 if letters.is_empty() {

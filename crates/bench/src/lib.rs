@@ -15,6 +15,7 @@
 //! | E8 | compression sweep                    | `report_storage`, bench `compression_sweep` |
 //! | E9 | incremental vs. recomputation        | bench `maintenance` |
 //! | E10| GPSJ vs. PSJ detail data             | `report_storage`, bench `baseline_psj` |
+//! | E11| observability overhead               | `report_obs` |
 //!
 //! The report binaries print the same rows/series the paper reports; the
 //! Criterion benches measure the runtime claims (incremental maintenance
@@ -24,7 +25,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod sched_report;
 pub mod table;
 
 pub use experiments::*;
+pub use sched_report::format_sched;
 pub use table::TableWriter;

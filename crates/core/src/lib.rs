@@ -54,4 +54,4 @@ pub use join_graph::{
 };
 pub use need::{in_need_of_another, need, need0, need_others};
 pub use recon::{AuxJoin, ReconItem, ReconstructionPlan, SumSource};
-pub use size_model::{human_bytes, RetailModel};
+pub use size_model::{human_bytes, human_nanos, RetailModel};

@@ -126,6 +126,20 @@ pub fn human_bytes(bytes: u64) -> String {
     }
 }
 
+/// Nanoseconds in a display unit (ns/µs/ms/s), for the shell's timing
+/// output — the duration counterpart of [`human_bytes`].
+pub fn human_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +184,9 @@ mod tests {
         assert_eq!(human_bytes(512), "512 bytes");
         assert_eq!(human_bytes(2048), "2 KBytes");
         assert_eq!(human_bytes(3 * 1024 * 1024), "3 MBytes");
+        assert_eq!(human_nanos(512), "512ns");
+        assert_eq!(human_nanos(2_500), "2.5µs");
+        assert_eq!(human_nanos(2_500_000), "2.500ms");
+        assert_eq!(human_nanos(2_500_000_000), "2.500s");
     }
 }

@@ -32,6 +32,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use md_algebra::{eval_view, ColRef, GpsjView, RowEnv, SelectItem};
 use md_core::{edge_is_dependency, AuxViewDef, DerivedPlan};
+use md_obs::{Counter, Histogram, Obs};
 use md_relation::{Bag, Catalog, Change, Database, Row, TableId, Value};
 
 use crate::error::{MaintainError, Result};
@@ -44,11 +45,28 @@ use crate::summary::{AggState, GroupState, SummaryStore};
 /// Counters describing the work the engine has done — the measurements
 /// behind the maintenance-cost experiments (E9).
 ///
+/// Since the observability redesign this struct is a point-in-time *view*
+/// over the engine's registered `md-obs` counters
+/// (`maintain.rows_processed{summary=…}` and friends): the API is
+/// unchanged, but the same numbers are now scrapeable through the
+/// warehouse metrics endpoint and profile alongside the span tracer.
+///
 /// The `*_nanos` fields are process-local wall-clock measurements feeding
 /// the parallel-scheduler experiments: they are excluded from equality
 /// (two engines in the same logical state compare equal regardless of
 /// how long each took to get there), never serialized into snapshots,
 /// and survive batch rollbacks (time was genuinely spent).
+///
+/// **Which clock is which.** `prepare_nanos`/`commit_nanos` are this
+/// summary's *busy* time: the duration of its own `prepare_batch` /
+/// `commit_batch` calls, measured on whichever thread ran them. Under a
+/// multi-worker scheduler the prepare calls of different summaries
+/// overlap, so summing `prepare_nanos` across summaries gives total work
+/// (the serial cost), **not** elapsed wall-clock. The scheduler's
+/// wall-clock for the whole overlapped fan-out is
+/// `SchedulerStats::fanout_nanos` in `md-warehouse`; earlier releases
+/// conflated the two when reporting per-summary timings under
+/// `workers > 1`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MaintStats {
     /// Source delta rows processed (after update splitting).
@@ -62,10 +80,85 @@ pub struct MaintStats {
     /// Dimension updates handled by the targeted fast path (per-group
     /// adjustment via the foreign-key index) instead of a full rebuild.
     pub dim_targeted_updates: u64,
-    /// Wall-clock nanoseconds spent in the prepare phase (timing only).
+    /// Nanoseconds this summary spent inside `prepare_batch` — per-summary
+    /// busy time on its worker thread, not scheduler wall-clock (see the
+    /// struct docs).
     pub prepare_nanos: u64,
-    /// Wall-clock nanoseconds spent in the commit phase (timing only).
+    /// Nanoseconds this summary spent inside `commit_batch` — per-summary
+    /// busy time, not scheduler wall-clock (see the struct docs).
     pub commit_nanos: u64,
+}
+
+/// The engine's live counter handles — the storage behind [`MaintStats`].
+/// Detached (unregistered) atomics until a warehouse adopts the engine
+/// into its metrics registry via [`MaintenanceEngine::set_obs`]; the
+/// increment cost is identical either way.
+#[derive(Debug, Clone, Default)]
+struct MaintCounters {
+    rows_processed: Counter,
+    groups_recomputed: Counter,
+    summary_rebuilds: Counter,
+    dim_noop_changes: Counter,
+    dim_targeted_updates: Counter,
+    prepare_nanos: Counter,
+    commit_nanos: Counter,
+    /// Per-batch prepare duration distribution (records only when the
+    /// owning registry has metrics enabled).
+    prepare_hist: Histogram,
+    /// Per-batch commit duration distribution.
+    commit_hist: Histogram,
+}
+
+impl MaintCounters {
+    /// Registry-backed handles labeled with this engine's summary name,
+    /// seeded with the current values of `prior`.
+    fn registered(obs: &Obs, summary: &str, prior: &MaintStats) -> Self {
+        let labels = [("summary", summary)];
+        let c = MaintCounters {
+            rows_processed: obs.counter("maintain.rows_processed", &labels),
+            groups_recomputed: obs.counter("maintain.groups_recomputed", &labels),
+            summary_rebuilds: obs.counter("maintain.summary_rebuilds", &labels),
+            dim_noop_changes: obs.counter("maintain.dim_noop_changes", &labels),
+            dim_targeted_updates: obs.counter("maintain.dim_targeted_updates", &labels),
+            prepare_nanos: obs.counter("maintain.prepare_nanos_total", &labels),
+            commit_nanos: obs.counter("maintain.commit_nanos_total", &labels),
+            prepare_hist: obs.histogram("maintain.prepare_nanos", &labels),
+            commit_hist: obs.histogram("maintain.commit_nanos", &labels),
+        };
+        c.set_all(prior);
+        c
+    }
+
+    /// The current values as the API-stable stats struct.
+    fn stats(&self) -> MaintStats {
+        MaintStats {
+            rows_processed: self.rows_processed.get(),
+            groups_recomputed: self.groups_recomputed.get(),
+            summary_rebuilds: self.summary_rebuilds.get(),
+            dim_noop_changes: self.dim_noop_changes.get(),
+            dim_targeted_updates: self.dim_targeted_updates.get(),
+            prepare_nanos: self.prepare_nanos.get(),
+            commit_nanos: self.commit_nanos.get(),
+        }
+    }
+
+    /// Overwrites every counter (snapshot restore).
+    fn set_all(&self, s: &MaintStats) {
+        self.set_logical(s);
+        self.prepare_nanos.set(s.prepare_nanos);
+        self.commit_nanos.set(s.commit_nanos);
+    }
+
+    /// Overwrites the logical work counters only, leaving the timing
+    /// counters untouched (transaction rollback: the work is undone, the
+    /// time was genuinely spent).
+    fn set_logical(&self, s: &MaintStats) {
+        self.rows_processed.set(s.rows_processed);
+        self.groups_recomputed.set(s.groups_recomputed);
+        self.summary_rebuilds.set(s.summary_rebuilds);
+        self.dim_noop_changes.set(s.dim_noop_changes);
+        self.dim_targeted_updates.set(s.dim_targeted_updates);
+    }
 }
 
 impl PartialEq for MaintStats {
@@ -145,7 +238,9 @@ pub struct MaintenanceEngine {
     /// Ablation switch: when false, dimension updates always take the
     /// conservative full-repair path instead of the targeted one.
     targeted_updates: bool,
-    stats: MaintStats,
+    counters: MaintCounters,
+    /// Observability handle (noop until a warehouse adopts this engine).
+    obs: Obs,
     /// Highest committed batch LSN per source table. A batch is applied
     /// exactly once: replay skips any record at or below this mark.
     applied_lsn: BTreeMap<TableId, u64>,
@@ -177,7 +272,8 @@ impl MaintenanceEngine {
             fk_index: HashMap::new(),
             dirty: HashMap::new(),
             targeted_updates: true,
-            stats: MaintStats::default(),
+            counters: MaintCounters::default(),
+            obs: Obs::noop(),
             applied_lsn: BTreeMap::new(),
             txn: None,
             faults: FaultPlan::default(),
@@ -209,9 +305,21 @@ impl MaintenanceEngine {
         self.aux.values()
     }
 
-    /// Work counters.
+    /// Work counters (a point-in-time view over the engine's `md-obs`
+    /// handles; see [`MaintStats`] for which clock each field measures).
     pub fn stats(&self) -> MaintStats {
-        self.stats
+        self.counters.stats()
+    }
+
+    /// Adopts this engine into an observability context: its counters are
+    /// re-registered in `obs`'s metrics registry under
+    /// `maintain.*{summary="<view>"}` keys (carrying their current
+    /// values), and its prepare/commit phases start emitting spans when
+    /// tracing is on. Called by the warehouse at registration/restore.
+    pub fn set_obs(&mut self, obs: Obs) {
+        let prior = self.counters.stats();
+        self.counters = MaintCounters::registered(&obs, &self.plan.view.name, &prior);
+        self.obs = obs;
     }
 
     /// Enables/disables the targeted dimension-update fast path (enabled
@@ -251,7 +359,7 @@ impl MaintenanceEngine {
 
     /// Overwrites the counters (snapshot restore).
     pub(crate) fn set_stats(&mut self, stats: MaintStats) {
-        self.stats = stats;
+        self.counters.set_all(&stats);
     }
 
     /// Installs one auxiliary group (snapshot restore).
@@ -536,9 +644,17 @@ impl MaintenanceEngine {
     /// on a scoped worker thread (`MaintenanceEngine: Send`, and each
     /// engine is touched by exactly one worker).
     pub fn prepare_batch(&mut self, groups: &[(TableId, &[Change])]) -> Result<()> {
+        let rows: usize = groups.iter().map(|(_, c)| c.len()).sum();
+        let _span = self
+            .obs
+            .span("maintain.prepare")
+            .field("summary", self.plan.view.name.as_str())
+            .field("rows", rows);
         let started = std::time::Instant::now();
         let result = self.prepare_batch_inner(groups);
-        self.stats.prepare_nanos += started.elapsed().as_nanos() as u64;
+        let nanos = started.elapsed().as_nanos() as u64;
+        self.counters.prepare_nanos.add(nanos);
+        self.counters.prepare_hist.observe(nanos);
         result
     }
 
@@ -591,6 +707,10 @@ impl MaintenanceEngine {
     /// Multi-group variant of [`Self::commit_prepared`]: keeps the
     /// prepared batch and records every per-table LSN it covered.
     pub fn commit_batch(&mut self, lsns: &[(TableId, u64)]) {
+        let _span = self
+            .obs
+            .span("maintain.commit")
+            .field("summary", self.plan.view.name.as_str());
         let started = std::time::Instant::now();
         for store in self.aux.values_mut() {
             store.commit_undo();
@@ -600,7 +720,9 @@ impl MaintenanceEngine {
         for (table, lsn) in lsns {
             self.set_applied_lsn(*table, (*lsn).max(self.applied_lsn(*table)));
         }
-        self.stats.commit_nanos += started.elapsed().as_nanos() as u64;
+        let nanos = started.elapsed().as_nanos() as u64;
+        self.counters.commit_nanos.add(nanos);
+        self.counters.commit_hist.observe(nanos);
     }
 
     /// Second phase of a two-phase apply: undoes the prepared batch,
@@ -615,7 +737,7 @@ impl MaintenanceEngine {
         }
         self.summary.begin_undo();
         self.txn = Some(TxnState {
-            stats: self.stats,
+            stats: self.counters.stats(),
             gi_touched: HashMap::new(),
             gi_replaced: None,
         });
@@ -649,10 +771,7 @@ impl MaintenanceEngine {
         self.group_index = gi;
         // Logical counters roll back with the batch; timing counters do
         // not — the time was genuinely spent.
-        let (prepare_nanos, commit_nanos) = (self.stats.prepare_nanos, self.stats.commit_nanos);
-        self.stats = txn.stats;
-        self.stats.prepare_nanos = prepare_nanos;
-        self.stats.commit_nanos = commit_nanos;
+        self.counters.set_logical(&txn.stats);
         self.dirty.clear();
         // Repairs and root folds may have moved the fk index; rebuilding
         // from the restored root store is always correct.
@@ -713,7 +832,7 @@ impl MaintenanceEngine {
     }
 
     fn process_root_row(&mut self, row: &Row, sign: i64) -> Result<()> {
-        self.stats.rows_processed += 1;
+        self.counters.rows_processed.incr();
         let root = self.plan.graph.root();
         let view = self.plan.view.clone();
 
@@ -848,7 +967,7 @@ impl MaintenanceEngine {
                 for (idx, value) in recomputed {
                     self.summary.set_recomputed(&vgroup, idx, value)?;
                 }
-                self.stats.groups_recomputed += 1;
+                self.counters.groups_recomputed.incr();
             }
         } else {
             // Root omitted: every non-CSMAS argument lives on a dimension
@@ -865,7 +984,7 @@ impl MaintenanceEngine {
                 for (idx, value) in values {
                     self.summary.set_recomputed(&vgroup, idx, value)?;
                 }
-                self.stats.groups_recomputed += 1;
+                self.counters.groups_recomputed.incr();
             }
         }
         Ok(())
@@ -1069,7 +1188,7 @@ impl MaintenanceEngine {
         }
         if adjustments.is_empty() {
             // Changed columns are invisible to the view.
-            self.stats.dim_noop_changes += 1;
+            self.counters.dim_noop_changes.incr();
             return Ok(true);
         }
 
@@ -1151,7 +1270,7 @@ impl MaintenanceEngine {
             }
         }
         self.flush_dirty_groups()?;
-        self.stats.dim_targeted_updates += 1;
+        self.counters.dim_targeted_updates.incr();
         Ok(true)
     }
 
@@ -1188,7 +1307,7 @@ impl MaintenanceEngine {
     ) -> Result<()> {
         self.faults.hit("engine.apply.change")?;
         {
-            self.stats.rows_processed += 1;
+            self.counters.rows_processed.incr();
             match change {
                 Change::Insert(row) => {
                     if self.row_passes_locals(def, row)? && self.row_passes_semijoins(def, row) {
@@ -1198,7 +1317,7 @@ impl MaintenanceEngine {
                             .apply_source_row(row, 1)?;
                     }
                     if is_dependency {
-                        self.stats.dim_noop_changes += 1;
+                        self.counters.dim_noop_changes.incr();
                     } else {
                         *needs_repair = true;
                     }
@@ -1211,7 +1330,7 @@ impl MaintenanceEngine {
                             .apply_source_row(row, -1)?;
                     }
                     if is_dependency {
-                        self.stats.dim_noop_changes += 1;
+                        self.counters.dim_noop_changes.incr();
                     } else {
                         *needs_repair = true;
                     }
@@ -1237,7 +1356,7 @@ impl MaintenanceEngine {
                     // a dependency edge. Try the targeted per-group
                     // adjustment first; fall back to a full repair from X.
                     if old == new {
-                        self.stats.dim_noop_changes += 1;
+                        self.counters.dim_noop_changes.incr();
                     } else if !self.try_targeted_dim_update(table, old, new)? {
                         *needs_repair = true;
                     }
@@ -1250,7 +1369,7 @@ impl MaintenanceEngine {
     /// Repairs `V` after dimension changes that may have reshaped existing
     /// join results — from the auxiliary views only.
     fn repair_summary(&mut self) -> Result<()> {
-        self.stats.summary_rebuilds += 1;
+        self.counters.summary_rebuilds.incr();
         if self.plan.reconstruction.is_some() {
             let index = {
                 let exec = ReconExecutor::new(&self.plan, &self.catalog, &self.aux)?;

@@ -30,5 +30,6 @@ pub use md_core::{derive, DerivedPlan, RetailModel};
 pub use md_maintain::{
     coalesce_changes, ChangeBatch, FaultPlan, MaintStats, MaintenanceEngine, StorageLine, Wal,
 };
+pub use md_obs::{Obs, ObsConfig};
 pub use md_relation::{Bag, Catalog, Change, DataType, Database, Row, Schema, TableId, Value};
 pub use md_sql::{parse_view, view_to_sql};

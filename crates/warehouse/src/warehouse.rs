@@ -50,6 +50,7 @@ use md_maintain::{
     AuditReport, ChangeBatch, FaultPlan, MaintStats, MaintainError, MaintenanceEngine, StorageLine,
     Wal,
 };
+use md_obs::{Counter, Gauge, Histogram, Obs, ObsConfig};
 use md_relation::{Bag, Catalog, Change, Database, Decoder, Encoder, Row, TableId};
 use md_sql::{parse_view, view_to_sql};
 
@@ -133,6 +134,16 @@ impl DeadLetterStore {
 
 /// Wall-clock and volume counters of the batch scheduler — the
 /// per-stage measurements behind the parallel-maintenance experiments.
+///
+/// A point-in-time view over the warehouse's `md-obs` registry (the
+/// `sched.*` metrics); [`Warehouse::scheduler_stats`] assembles it.
+///
+/// **Which clock is which.** Every `*_nanos` field here is *scheduler
+/// wall-clock*: elapsed time at the coordinating thread, including the
+/// whole overlapped prepare fan-out in `fanout_nanos`. The per-summary
+/// `MaintStats::prepare_nanos`/`commit_nanos` measure each engine's own
+/// busy time instead, so under `workers > 1` the per-summary values sum
+/// to total work, not to these wall-clock figures.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SchedulerStats {
     /// Batches committed successfully.
@@ -149,6 +160,59 @@ pub struct SchedulerStats {
     pub wal_nanos: u64,
     /// Nanoseconds committing prepared engines.
     pub commit_nanos: u64,
+}
+
+/// The scheduler's live metric handles — the storage behind
+/// [`SchedulerStats`], registered in the warehouse's `md-obs` registry.
+#[derive(Debug, Clone)]
+struct SchedCounters {
+    batches_applied: Counter,
+    changes_submitted: Counter,
+    changes_applied: Counter,
+    coalesce_nanos: Counter,
+    fanout_nanos: Counter,
+    wal_nanos: Counter,
+    commit_nanos: Counter,
+    /// Changes that cancelled out during coalescing
+    /// (`submitted − applied` per batch).
+    coalesce_annihilated: Counter,
+    /// Bytes appended to the change log per batch.
+    wal_append_bytes: Histogram,
+    /// Current dead-letter count (refreshed at scrape time).
+    deadletter_depth: Gauge,
+    /// Total auxiliary-view rows after compression across all summaries
+    /// (refreshed at scrape time).
+    aux_rows: Gauge,
+}
+
+impl SchedCounters {
+    fn new(obs: &Obs) -> Self {
+        SchedCounters {
+            batches_applied: obs.counter("sched.batches_applied", &[]),
+            changes_submitted: obs.counter("sched.changes_submitted", &[]),
+            changes_applied: obs.counter("sched.changes_applied", &[]),
+            coalesce_nanos: obs.counter("sched.coalesce_nanos", &[]),
+            fanout_nanos: obs.counter("sched.fanout_nanos", &[]),
+            wal_nanos: obs.counter("sched.wal_nanos", &[]),
+            commit_nanos: obs.counter("sched.commit_nanos", &[]),
+            coalesce_annihilated: obs.counter("batch.coalesce_annihilated", &[]),
+            wal_append_bytes: obs.histogram("wal.append_bytes", &[]),
+            deadletter_depth: obs.gauge("deadletter.depth", &[]),
+            aux_rows: obs.gauge("aux.rows_after_compression", &[]),
+        }
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            batches_applied: self.batches_applied.get(),
+            changes_submitted: self.changes_submitted.get(),
+            changes_applied: self.changes_applied.get(),
+            coalesce_nanos: self.coalesce_nanos.get(),
+            fanout_nanos: self.fanout_nanos.get(),
+            wal_nanos: self.wal_nanos.get(),
+            commit_nanos: self.commit_nanos.get(),
+        }
+    }
 }
 
 /// Construction-time configuration of a [`Warehouse`]. Every knob that
@@ -172,6 +236,7 @@ pub struct WarehouseBuilder {
     workers: usize,
     coalesce: bool,
     strict: bool,
+    obs: ObsConfig,
 }
 
 impl Default for WarehouseBuilder {
@@ -183,6 +248,7 @@ impl Default for WarehouseBuilder {
             workers: 1,
             coalesce: true,
             strict: false,
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -242,15 +308,28 @@ impl WarehouseBuilder {
         self
     }
 
+    /// Sets the observability mode ([`ObsConfig::off`] by default, where
+    /// spans and histograms are branch-only no-ops). Every engine the
+    /// warehouse registers shares the resulting [`Obs`] handle, so
+    /// [`Warehouse::metrics_prometheus`] and [`Warehouse::trace_json`]
+    /// cover the whole pipeline.
+    pub fn observe(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Builds an empty warehouse over the source catalog.
     pub fn build(self, catalog: &Catalog) -> Warehouse {
+        let obs = Obs::new(self.obs);
+        let sched = SchedCounters::new(&obs);
         Warehouse {
             catalog: catalog.clone(),
             engines: BTreeMap::new(),
             table_seq: BTreeMap::new(),
             wal: if self.wal { Some(Wal::new()) } else { None },
             dead_letters: DeadLetterStore::default(),
-            sched: SchedulerStats::default(),
+            sched,
+            obs,
             config: self,
         }
     }
@@ -288,6 +367,7 @@ impl WarehouseBuilder {
             let mut engine = MaintenanceEngine::restore(plan, catalog, &image)?;
             engine.set_fault_plan(wh.config.faults.clone());
             engine.set_targeted_updates(wh.config.targeted_updates);
+            engine.set_obs(wh.obs.clone());
             wh.engines.insert(name, engine);
         }
         if !d.is_exhausted() {
@@ -373,8 +453,10 @@ pub struct Warehouse {
     wal: Option<Wal>,
     /// Rejected change groups, in rejection order.
     dead_letters: DeadLetterStore,
-    /// Scheduler counters.
-    sched: SchedulerStats,
+    /// Scheduler metric handles (backing [`SchedulerStats`]).
+    sched: SchedCounters,
+    /// The shared observability handle (registry + tracer).
+    obs: Obs,
     /// Immutable construction-time configuration.
     config: WarehouseBuilder,
 }
@@ -422,9 +504,59 @@ impl Warehouse {
         self.dead_letters.drain()
     }
 
-    /// Scheduler counters: batch/change volumes and per-stage wall time.
+    /// Scheduler counters: batch/change volumes and per-stage wall time
+    /// (a view over the `sched.*` metrics; see [`SchedulerStats`] for
+    /// which clock each field measures).
     pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.sched.stats()
+    }
+
+    /// The warehouse's shared observability handle. Clones are cheap and
+    /// observe into the same registry and trace buffer.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Renders every registered metric as Prometheus-style text
+    /// exposition. Point-in-time gauges (`deadletter.depth`,
+    /// `aux.rows_after_compression`) are refreshed at this scrape point.
+    pub fn metrics_prometheus(&self) -> String {
+        self.refresh_gauges();
+        self.obs.render_prometheus()
+    }
+
+    /// Renders every registered metric as JSON (fixed field order, same
+    /// conventions as `md-check`'s diagnostics JSON). Gauges are
+    /// refreshed at this scrape point.
+    pub fn metrics_json(&self) -> String {
+        self.refresh_gauges();
+        self.obs.render_json()
+    }
+
+    /// Exports every recorded span as Chrome trace-event JSON, loadable
+    /// in `chrome://tracing` or Perfetto.
+    pub fn trace_json(&self) -> String {
+        self.obs.trace_json()
+    }
+
+    /// Enables or disables span recording at runtime, in any
+    /// observability mode.
+    pub fn set_tracing(&self, enabled: bool) {
+        self.obs.set_tracing(enabled);
+    }
+
+    /// Writes the current values of the scrape-time gauges.
+    fn refresh_gauges(&self) {
         self.sched
+            .deadletter_depth
+            .set(self.dead_letters.len() as i64);
+        let aux_rows: i64 = self
+            .engines
+            .values()
+            .flat_map(|e| e.aux_stores())
+            .map(|s| s.len() as i64)
+            .sum();
+        self.sched.aux_rows.set(aux_rows);
     }
 
     /// The highest committed batch sequence number for `table`.
@@ -447,7 +579,7 @@ impl Warehouse {
     /// (the one-time initial load), and returns the view name.
     pub fn add_summary_sql(&mut self, sql: &str, db: &Database) -> Result<String> {
         if self.config.strict {
-            let report = md_check::check_sql(sql, &self.catalog);
+            let report = md_check::check_file_obs("<sql>", sql, &self.catalog, &self.obs);
             if report.has_errors() {
                 return Err(WarehouseError::Check(Box::new(report)));
             }
@@ -478,6 +610,7 @@ impl Warehouse {
         let mut engine = MaintenanceEngine::new(plan, &self.catalog)?;
         engine.set_fault_plan(self.config.faults.clone());
         engine.set_targeted_updates(self.config.targeted_updates);
+        engine.set_obs(self.obs.clone());
         engine.initial_load(db)?;
         // The initial load already reflects every committed batch, so
         // align the new engine with the warehouse's sequence numbers —
@@ -523,19 +656,31 @@ impl Warehouse {
     /// regardless of the worker count. The warehouse keeps serving its
     /// last consistent state.
     pub fn apply_batch(&mut self, batch: &ChangeBatch) -> Result<()> {
+        let _span = self
+            .obs
+            .span("warehouse.apply_batch")
+            .field("changes", batch.change_count());
         let started = Instant::now();
         let work = if self.config.coalesce {
+            let _coalesce = self.obs.span("batch.coalesce");
             batch.coalesced()
         } else {
             batch.clone()
         };
-        self.sched.coalesce_nanos += started.elapsed().as_nanos() as u64;
-        self.sched.changes_submitted += batch.change_count() as u64;
-        self.sched.changes_applied += work.change_count() as u64;
+        self.sched
+            .coalesce_nanos
+            .add(started.elapsed().as_nanos() as u64);
+        self.sched
+            .changes_submitted
+            .add(batch.change_count() as u64);
+        self.sched.changes_applied.add(work.change_count() as u64);
+        self.sched
+            .coalesce_annihilated
+            .add(batch.change_count().saturating_sub(work.change_count()) as u64);
 
         match self.try_apply_batch(&work) {
             Ok(()) => {
-                self.sched.batches_applied += 1;
+                self.sched.batches_applied.incr();
                 Ok(())
             }
             Err(e) => {
@@ -590,6 +735,7 @@ impl Warehouse {
         // not depend on thread timing. Results come back in engine-name
         // order.
         let fanout_started = Instant::now();
+        let fanout_span = self.obs.span("scheduler.fanout");
         // One engine's share of the batch: its name, exclusive access to
         // it, and the change groups its view depends on.
         type Assignment<'a> = (
@@ -645,7 +791,10 @@ impl Warehouse {
                 })
             }
         };
-        self.sched.fanout_nanos += fanout_started.elapsed().as_nanos() as u64;
+        drop(fanout_span.field("engines", outcome.len()));
+        self.sched
+            .fanout_nanos
+            .add(fanout_started.elapsed().as_nanos() as u64);
 
         let mut prepared: Vec<String> = Vec::with_capacity(outcome.len());
         let mut first_failure: Option<MaintainError> = None;
@@ -686,11 +835,18 @@ impl Warehouse {
                 return Err(e.into());
             }
             let wal_started = Instant::now();
+            let wal_span = self.obs.span("wal.append");
             let wal = self.wal.as_mut().expect("checked");
+            let bytes_before = wal.bytes().len() as u64;
             for ((table, changes), (_, lsn)) in groups.iter().zip(&lsns) {
                 wal.append(*table, *lsn, changes);
             }
-            self.sched.wal_nanos += wal_started.elapsed().as_nanos() as u64;
+            let appended = (wal.bytes().len() as u64).saturating_sub(bytes_before);
+            self.sched.wal_append_bytes.observe(appended);
+            drop(wal_span.field("bytes", appended));
+            self.sched
+                .wal_nanos
+                .add(wal_started.elapsed().as_nanos() as u64);
         }
 
         // Phase 2: commit everywhere. Infallible in production (the
@@ -707,6 +863,10 @@ impl Warehouse {
             return Err(e.into());
         }
         let commit_started = Instant::now();
+        let commit_span = self
+            .obs
+            .span("warehouse.commit")
+            .field("engines", prepared.len());
         for name in &prepared {
             let engine = self.engines.get_mut(name).expect("listed above");
             let eng_lsns: Vec<(TableId, u64)> = lsns
@@ -719,7 +879,10 @@ impl Warehouse {
         for (table, lsn) in &lsns {
             self.table_seq.insert(*table, *lsn);
         }
-        self.sched.commit_nanos += commit_started.elapsed().as_nanos() as u64;
+        drop(commit_span);
+        self.sched
+            .commit_nanos
+            .add(commit_started.elapsed().as_nanos() as u64);
         Ok(())
     }
 

@@ -1,0 +1,207 @@
+//! End-to-end checks of the observability layer: Chrome traces of a
+//! parallel batch contain the pipeline's nested spans, the stats structs
+//! agree with the metrics registry they are views over, rollback restores
+//! the logical counters, and the default (off) mode records nothing
+//! beyond the always-live counters.
+
+use md_warehouse::{ChangeBatch, FaultPlan, ObsConfig, Warehouse};
+use md_workload::{generate_retail, sale_changes, views, Contracts, RetailParams, UpdateMix};
+
+/// A workers=8 warehouse with full observability over the retail star,
+/// three summaries registered, one mixed batch applied.
+fn traced_parallel_warehouse() -> (md_relation::Database, Warehouse) {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let mut wh = Warehouse::builder()
+        .workers(8)
+        .observe(ObsConfig::full())
+        .build(db.catalog());
+    wh.add_summary_sql(views::PRODUCT_SALES_SQL, &db).unwrap();
+    wh.add_summary_sql(views::STORE_REVENUE_SQL, &db).unwrap();
+    wh.add_summary_sql(views::DAILY_PRODUCT_SQL, &db).unwrap();
+    let changes = sale_changes(&mut db, &schema, 40, UpdateMix::balanced(), 7);
+    wh.apply_batch(&ChangeBatch::single(schema.sale, changes))
+        .unwrap();
+    (db, wh)
+}
+
+#[test]
+fn parallel_batch_trace_contains_nested_pipeline_spans() {
+    let (db, wh) = traced_parallel_warehouse();
+    assert!(wh.verify_all(&db).unwrap());
+
+    let events = wh.obs().tracer().events();
+    let find = |name: &str| events.iter().filter(|e| e.name == name).collect::<Vec<_>>();
+
+    // Every pipeline stage produced at least one span with real duration.
+    for name in [
+        "warehouse.apply_batch",
+        "batch.coalesce",
+        "scheduler.fanout",
+        "maintain.prepare",
+        "wal.append",
+        "warehouse.commit",
+        "maintain.commit",
+    ] {
+        let spans = find(name);
+        assert!(!spans.is_empty(), "no '{name}' span recorded");
+        assert!(
+            spans.iter().any(|e| e.dur_ns > 0),
+            "'{name}' spans all have zero duration"
+        );
+    }
+    // One prepare span per affected summary.
+    assert_eq!(find("maintain.prepare").len(), 3);
+
+    // Nesting by time containment: the scheduler stages sit inside the
+    // batch span on the coordinating thread.
+    let outer = find("warehouse.apply_batch")[0];
+    for name in ["scheduler.fanout", "wal.append", "warehouse.commit"] {
+        let inner = find(name)[0];
+        assert_eq!(inner.tid, outer.tid, "'{name}' ran on the batch thread");
+        assert!(
+            inner.start_ns >= outer.start_ns
+                && inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns,
+            "'{name}' is not nested inside warehouse.apply_batch"
+        );
+    }
+
+    // And the export is the Chrome trace-event shape.
+    let json = wh.trace_json();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"ph\": \"X\""));
+    assert!(json.contains("\"name\": \"maintain.prepare\""));
+}
+
+#[test]
+fn stats_structs_are_views_over_the_registry() {
+    let (_db, wh) = traced_parallel_warehouse();
+
+    // SchedulerStats fields equal the sched.* counters they read from.
+    let sched = wh.scheduler_stats();
+    let obs = wh.obs();
+    assert_eq!(sched.batches_applied, 1);
+    assert_eq!(
+        sched.batches_applied,
+        obs.counter("sched.batches_applied", &[]).get()
+    );
+    assert_eq!(
+        sched.changes_submitted,
+        obs.counter("sched.changes_submitted", &[]).get()
+    );
+    assert_eq!(
+        sched.fanout_nanos,
+        obs.counter("sched.fanout_nanos", &[]).get()
+    );
+
+    // MaintStats fields equal the labeled maintain.* counters.
+    let stats = wh.stats("product_sales").unwrap();
+    let labels = [("summary", "product_sales")];
+    assert!(stats.rows_processed > 0);
+    assert_eq!(
+        stats.rows_processed,
+        obs.counter("maintain.rows_processed", &labels).get()
+    );
+    assert_eq!(
+        stats.prepare_nanos,
+        obs.counter("maintain.prepare_nanos_total", &labels).get()
+    );
+
+    // The renderers expose the same numbers, and the scrape refreshes
+    // the point-in-time gauges.
+    let prom = wh.metrics_prometheus();
+    assert!(prom.contains("sched.batches_applied 1"));
+    assert!(prom.contains("maintain.rows_processed{summary=\"product_sales\"}"));
+    assert!(prom.contains("deadletter.depth 0"));
+    assert!(prom.contains("aux.rows_after_compression"));
+    assert!(prom.contains("wal.append_bytes_count 1"));
+    let json = wh.metrics_json();
+    assert!(json.contains("\"name\": \"sched.batches_applied\""));
+    assert!(json.contains("\"name\": \"wal.append_bytes\""));
+}
+
+#[test]
+fn rollback_restores_logical_counters() {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let mut faults = FaultPlan::recording();
+    faults.arm("warehouse.apply.commit", 1);
+    let mut wh = Warehouse::builder()
+        .fault_plan(faults)
+        .observe(ObsConfig::metrics())
+        .build(db.catalog());
+    wh.add_summary_sql(views::PRODUCT_SALES_SQL, &db).unwrap();
+
+    let good = sale_changes(&mut db, &schema, 10, UpdateMix::append_only(), 11);
+    wh.apply_batch(&ChangeBatch::single(schema.sale, good))
+        .unwrap();
+    let before = wh.stats("product_sales").unwrap();
+    assert_eq!(before.rows_processed, 10);
+
+    // The armed fault fires at the commit point of the next batch: the
+    // engines prepared (and counted) the work, then rolled it back.
+    let doomed = sale_changes(&mut db, &schema, 5, UpdateMix::append_only(), 12);
+    wh.apply_batch(&ChangeBatch::single(schema.sale, doomed))
+        .unwrap_err();
+    let after = wh.stats("product_sales").unwrap();
+    assert_eq!(
+        after.rows_processed, before.rows_processed,
+        "rolled-back work must not stay counted"
+    );
+    assert_eq!(after.summary_rebuilds, before.summary_rebuilds);
+    // Timing is not rolled back: the prepare genuinely ran.
+    assert!(after.prepare_nanos >= before.prepare_nanos);
+    // The failed batch is observable where it should be.
+    assert_eq!(wh.dead_letters().len(), 1);
+    assert!(wh.metrics_prometheus().contains("deadletter.depth 1"));
+}
+
+#[test]
+fn off_mode_records_no_spans_or_histograms_but_counts() {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let mut wh = Warehouse::new(db.catalog()); // ObsConfig::off()
+    wh.add_summary_sql(views::PRODUCT_SALES_SQL, &db).unwrap();
+    let changes = sale_changes(&mut db, &schema, 15, UpdateMix::balanced(), 13);
+    wh.apply_batch(&ChangeBatch::single(schema.sale, changes))
+        .unwrap();
+
+    // Counters (the stats backbone) are live…
+    assert!(wh.stats("product_sales").unwrap().rows_processed > 0);
+    assert_eq!(wh.scheduler_stats().batches_applied, 1);
+    // …but nothing was traced and no histogram recorded.
+    assert!(wh.obs().tracer().is_empty());
+    assert_eq!(
+        wh.obs().histogram("wal.append_bytes", &[]).snapshot().count,
+        0
+    );
+    // Tracing can still be flipped on at runtime.
+    wh.set_tracing(true);
+    let more = sale_changes(&mut db, &schema, 1, UpdateMix::append_only(), 14);
+    wh.apply_batch(&ChangeBatch::single(schema.sale, more))
+        .unwrap();
+    assert!(!wh.obs().tracer().is_empty());
+    assert!(wh.trace_json().contains("warehouse.apply_batch"));
+}
+
+#[test]
+fn registered_stats_survive_save_and_restore_with_obs() {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let mut wh = Warehouse::builder()
+        .observe(ObsConfig::metrics())
+        .build(db.catalog());
+    wh.add_summary_sql(views::PRODUCT_SALES_SQL, &db).unwrap();
+    let changes = sale_changes(&mut db, &schema, 20, UpdateMix::balanced(), 15);
+    wh.apply_batch(&ChangeBatch::single(schema.sale, changes))
+        .unwrap();
+    let stats = wh.stats("product_sales").unwrap();
+
+    let image = wh.save().unwrap();
+    let restored = Warehouse::builder()
+        .observe(ObsConfig::metrics())
+        .restore(db.catalog(), &image)
+        .unwrap();
+    assert_eq!(restored.stats("product_sales").unwrap(), stats);
+    // The restored engine was adopted into the fresh registry: the
+    // counters are scrapeable under its summary label.
+    assert!(restored
+        .metrics_prometheus()
+        .contains("maintain.rows_processed{summary=\"product_sales\"}"));
+}
