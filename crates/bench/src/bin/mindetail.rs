@@ -32,6 +32,10 @@
 //! Batch mode: `mindetail check FILE.sql... [--json]` analyzes every GPSJ
 //! statement in the given files against the retail catalog and exits
 //! non-zero if any error-level diagnostic is found — suitable for CI.
+//! `mindetail race [--workers N] [--bound N] [--seed HEX]` explores
+//! scheduler interleavings with md-race and exits non-zero on any
+//! invariant violation (`--planted-bug` asserts the planted commit
+//! reordering is caught instead).
 //!
 //! Try: `cargo run -p md-bench --bin mindetail -- --demo`
 
@@ -70,6 +74,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("check") {
         std::process::exit(run_check(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("race") {
+        std::process::exit(run_race(&args[1..]));
     }
     let workers: usize = args
         .iter()
@@ -250,6 +257,70 @@ fn run_check(args: &[String]) -> i32 {
         1
     } else {
         0
+    }
+}
+
+/// Batch mode: `mindetail race [--workers N] [--bound N] [--seed HEX]
+/// [--random N] [--planted-bug]` explores scheduler interleavings of the
+/// retail batch workload with md-race and exits non-zero if any schedule
+/// violates an invariant — suitable for CI. `--planted-bug` flips the
+/// expectation: the run fails unless the planted commit-before-append
+/// reordering is caught on every schedule.
+fn run_race(args: &[String]) -> i32 {
+    fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: mindetail race [--workers N] [--bound N] [--seed HEX] [--random N] [--planted-bug]"
+        );
+        return 2;
+    }
+    let planted = args.iter().any(|a| a == "--planted-bug");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+        .unwrap_or(0xD1CE);
+    let cfg = md_race::RaceConfig {
+        workers: flag(args, "--workers", 2),
+        bound: flag(args, "--bound", 8),
+        max_schedules: flag(args, "--max-schedules", 2_000),
+        random_schedules: flag(args, "--random", 16),
+        seed,
+        check_static: true,
+    };
+    let scenario = if planted {
+        md_race::retail_scenario(1, 6, 7).with_planted_bug()
+    } else {
+        md_race::retail_scenario(1, 6, 7)
+    };
+    let report = md_race::Explorer::new(&scenario, cfg).run();
+    println!("{}", report.summary());
+    if planted {
+        let runs = report.schedules + report.random_schedules;
+        if report.violations.len() as u64 == runs {
+            println!("planted commit-before-append bug caught on all {runs} schedules");
+            0
+        } else {
+            eprintln!(
+                "planted bug escaped: {} of {runs} schedules flagged",
+                report.violations.len()
+            );
+            1
+        }
+    } else if report.is_clean() {
+        0
+    } else {
+        for v in &report.violations {
+            eprintln!("{v}");
+        }
+        1
     }
 }
 

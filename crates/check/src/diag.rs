@@ -80,11 +80,19 @@ pub enum Code {
     Md041,
     /// `AVG` is maintained via the `SUM`/`COUNT` rewrite.
     Md050,
+    /// Scheduler commits an engine before the batch's WAL append.
+    Md060,
+    /// WAL LSNs are not strictly increasing per table.
+    Md061,
+    /// Two threads acquire the same engine pair in opposite orders.
+    Md062,
+    /// Prepared engine neither committed nor rolled back by batch end.
+    Md063,
 }
 
 impl Code {
     /// Every code the analyzer can emit, in ascending order.
-    pub const ALL: [Code; 22] = [
+    pub const ALL: [Code; 26] = [
         Code::Md001,
         Code::Md002,
         Code::Md010,
@@ -107,6 +115,10 @@ impl Code {
         Code::Md040,
         Code::Md041,
         Code::Md050,
+        Code::Md060,
+        Code::Md061,
+        Code::Md062,
+        Code::Md063,
     ];
 
     /// The stable code string, e.g. `"MD020"`.
@@ -134,7 +146,18 @@ impl Code {
             Code::Md040 => "MD040",
             Code::Md041 => "MD041",
             Code::Md050 => "MD050",
+            Code::Md060 => "MD060",
+            Code::Md061 => "MD061",
+            Code::Md062 => "MD062",
+            Code::Md063 => "MD063",
         }
+    }
+
+    /// `true` for the scheduler-ordering codes (`MD060`–`MD063`), which
+    /// are emitted by [`check_schedule`](crate::check_schedule) over a
+    /// [`SchedModel`](crate::SchedModel) rather than by the SQL passes.
+    pub fn is_schedule(self) -> bool {
+        matches!(self, Code::Md060 | Code::Md061 | Code::Md062 | Code::Md063)
     }
 
     /// The fixed severity of the code.
@@ -153,8 +176,11 @@ impl Code {
             | Code::Md021
             | Code::Md022
             | Code::Md023
-            | Code::Md024 => Severity::Error,
-            Code::Md030 | Code::Md031 | Code::Md032 | Code::Md033 | Code::Md034 => {
+            | Code::Md024
+            | Code::Md060
+            | Code::Md061
+            | Code::Md062 => Severity::Error,
+            Code::Md030 | Code::Md031 | Code::Md032 | Code::Md033 | Code::Md034 | Code::Md063 => {
                 Severity::Warning
             }
             Code::Md040 | Code::Md041 | Code::Md050 => Severity::Note,
@@ -186,6 +212,10 @@ impl Code {
             Code::Md040 => "auxiliary view eliminable under a tighter contract",
             Code::Md041 => "root auxiliary view degenerates to PSJ",
             Code::Md050 => "AVG maintained via SUM/COUNT rewrite",
+            Code::Md060 => "commit before WAL append",
+            Code::Md061 => "per-table WAL LSN regression",
+            Code::Md062 => "cross-summary lock-order inversion",
+            Code::Md063 => "prepared engine leaked past batch end",
         }
     }
 }

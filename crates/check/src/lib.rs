@@ -21,6 +21,10 @@
 //! 5. **Exposure** (`MD034`) — Section 2.1 exposed updates.
 //! 6. **Plan audit** (`MD040`/`MD041`) — Algorithm 3.2 cross-check: what
 //!    the derived plan materializes versus what a tighter contract allows.
+//! 7. **Scheduler ordering** (`MD060`–`MD063`) — a separate entry point,
+//!    [`check_schedule`], over abstract [`SchedModel`]s of the batch
+//!    scheduler: commit-before-append, WAL LSN regressions, lock-order
+//!    inversions, leaked prepared transactions.
 //!
 //! ```
 //! use md_check::check_sql;
@@ -50,9 +54,11 @@ mod json;
 mod plan_pass;
 mod render;
 mod resolve_pass;
+mod sched_pass;
 
 pub use diag::{CheckReport, Code, Diagnostic, Severity};
 pub use md_sql::Span;
+pub use sched_pass::{check_schedule, SchedModel, SchedModelOp, SchedStep};
 
 use md_algebra::GpsjView;
 use md_obs::Obs;

@@ -178,10 +178,12 @@ fn golden_corpus() {
         compare(&case.with_extension("json"), &report.to_json());
     }
 
-    // Every stable code must be pinned by at least one golden case.
+    // Every stable SQL-pass code must be pinned by at least one golden
+    // case. The schedule-ordering codes (MD06x) are emitted over
+    // `SchedModel`s, not SQL, and are pinned by the sched_pass tests.
     let missing: Vec<&str> = Code::ALL
         .iter()
-        .filter(|c| !seen_codes.contains(*c))
+        .filter(|c| !c.is_schedule() && !seen_codes.contains(*c))
         .map(|c| c.as_str())
         .collect();
     assert!(

@@ -1,0 +1,178 @@
+//! The scheduler's execution abstraction.
+//!
+//! The warehouse batch scheduler fans prepare work out across worker
+//! tasks and then drives the WAL-append and commit phases from the
+//! coordinating thread. Everything that *runs* those steps sits behind
+//! the [`Executor`] trait, so the same scheduler code can execute on
+//! real scoped threads in production ([`ThreadExecutor`]) or under a
+//! cooperative deterministic stepper in tests (`md-race`'s
+//! `StepExecutor`), which replays chosen interleavings of the announced
+//! [`SchedEvent`]s and records the schedule it observed.
+//!
+//! The contract between the scheduler and an executor:
+//!
+//! * [`Executor::run_tasks`] receives one closure per worker task and
+//!   must run every task to completion before returning. Tasks are
+//!   data-disjoint (each maintenance engine is owned by exactly one
+//!   task per batch), so an executor is free to run them in any order
+//!   or interleaving.
+//! * Instrumented code announces its scheduling points by calling
+//!   [`Executor::yield_point`] with an event naming the calling task
+//!   (or [`COORDINATOR`] for the single coordinating thread). A
+//!   production executor ignores these; a stepping executor may block
+//!   the caller there until the controlled schedule grants it the next
+//!   step. An event's `task` id must identify the calling task
+//!   truthfully — the stepper parks the *calling thread* under that id.
+
+use std::fmt;
+
+use md_relation::TableId;
+
+/// The `task` id used for scheduling events announced by the
+/// coordinating thread (batch boundaries, WAL appends, commits) rather
+/// than by a worker task.
+pub const COORDINATOR: usize = usize::MAX;
+
+/// What happened at a scheduling point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedOp {
+    /// A batch is starting; the per-table LSNs it will commit under.
+    BatchStart {
+        /// The `(table, lsn)` pairs the batch covers, in group order.
+        lsns: Vec<(TableId, u64)>,
+    },
+    /// A worker task is about to run one engine's prepare phase.
+    Prepare {
+        /// The summary (engine) name.
+        engine: String,
+    },
+    /// A worker task finished one engine's prepare phase.
+    PrepareDone {
+        /// The summary (engine) name.
+        engine: String,
+        /// Whether the prepare succeeded.
+        ok: bool,
+    },
+    /// The coordinator appended one table's frame to the change log.
+    WalAppend {
+        /// The table the frame covers.
+        table: TableId,
+        /// The frame's log sequence number.
+        lsn: u64,
+    },
+    /// The coordinator committed one prepared engine.
+    Commit {
+        /// The summary (engine) name.
+        engine: String,
+    },
+    /// The coordinator rolled one prepared engine back.
+    Rollback {
+        /// The summary (engine) name.
+        engine: String,
+    },
+    /// The batch finished (committed or fully rolled back).
+    BatchEnd {
+        /// `true` when the batch committed everywhere.
+        committed: bool,
+    },
+}
+
+/// One announced scheduling point: which task reached which operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedEvent {
+    /// The announcing task's id (its index in the `run_tasks` vector),
+    /// or [`COORDINATOR`] for coordinator-phase events.
+    pub task: usize,
+    /// The operation at this point.
+    pub op: SchedOp,
+}
+
+impl SchedEvent {
+    /// An event announced by the coordinating thread.
+    pub fn coord(op: SchedOp) -> Self {
+        SchedEvent {
+            task: COORDINATOR,
+            op,
+        }
+    }
+}
+
+/// One worker task: a closure run to completion by the executor. Tasks
+/// borrow the engines they prepare, hence the lifetime.
+pub type Task<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// Runs the scheduler's worker tasks and observes its scheduling
+/// points. See the module docs for the contract.
+pub trait Executor: fmt::Debug + Send + Sync {
+    /// Runs every task to completion (in any interleaving) before
+    /// returning.
+    fn run_tasks<'a>(&self, tasks: Vec<Task<'a>>);
+
+    /// Announces a scheduling point. Production executors ignore this;
+    /// a stepping executor may block the calling thread here until the
+    /// schedule grants it the next step.
+    fn yield_point(&self, event: SchedEvent);
+}
+
+/// The production executor: scoped OS threads, no stepping. A single
+/// task runs inline on the calling thread; scheduling points are
+/// ignored.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadExecutor;
+
+impl Executor for ThreadExecutor {
+    fn run_tasks<'a>(&self, tasks: Vec<Task<'a>>) {
+        if tasks.len() <= 1 {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = tasks.into_iter().map(|t| s.spawn(t)).collect();
+            for h in handles {
+                h.join().expect("maintenance worker panicked");
+            }
+        });
+    }
+
+    fn yield_point(&self, _event: SchedEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn thread_executor_runs_every_task() {
+        let exec = ThreadExecutor;
+        for n in [0usize, 1, 2, 5] {
+            let ran = AtomicUsize::new(0);
+            let tasks: Vec<Task<'_>> = (0..n)
+                .map(|_| {
+                    Box::new(|| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    }) as Task<'_>
+                })
+                .collect();
+            exec.run_tasks(tasks);
+            assert_eq!(ran.load(Ordering::SeqCst), n);
+        }
+    }
+
+    #[test]
+    fn tasks_may_borrow_locals() {
+        // The lifetime parameter on `run_tasks` admits non-'static
+        // borrows — the property the warehouse fan-out relies on.
+        let exec = ThreadExecutor;
+        let mut slots = [0u64, 0];
+        {
+            let (a, b) = slots.split_at_mut(1);
+            let tasks: Vec<Task<'_>> = vec![Box::new(move || a[0] = 1), Box::new(move || b[0] = 2)];
+            exec.run_tasks(tasks);
+        }
+        assert_eq!(slots, [1, 2]);
+        exec.yield_point(SchedEvent::coord(SchedOp::BatchEnd { committed: true }));
+    }
+}

@@ -25,6 +25,7 @@
 pub mod batch;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod fault;
 pub mod psj;
 pub mod reconstruct;
@@ -37,6 +38,7 @@ pub mod wal;
 pub use batch::{coalesce_changes, ChangeBatch};
 pub use engine::{AuditReport, MaintStats, MaintenanceEngine, StorageLine};
 pub use error::{MaintainError, Result};
+pub use exec::{Executor, SchedEvent, SchedOp, Task, ThreadExecutor, COORDINATOR};
 pub use fault::FaultPlan;
 pub use psj::{derive_psj, load_psj_stores, psj_totals};
 pub use reconstruct::{GroupIndex, ReconExecutor};

@@ -11,7 +11,10 @@
 //! * **Metrics registry** ([`metrics`]) — named counters, gauges and
 //!   fixed-bucket log₂ histograms (`maintain.prepare_nanos`,
 //!   `wal.append_bytes`, …), rendered as Prometheus-style text exposition
-//!   or JSON ([`render`]).
+//!   or JSON ([`render`]). Offline tooling reports through the same
+//!   registry: md-race's schedule explorer publishes
+//!   `race.schedules_explored`, `race.violations`, `race.explored_depth`
+//!   and `race.events_per_schedule` when handed an [`Obs`].
 //! * **The [`Obs`] handle** — one cheaply clonable façade over both,
 //!   configured once via [`ObsConfig`] and handed to every subsystem.
 //!   [`ObsConfig::off`] (the default) reduces every instrumentation call

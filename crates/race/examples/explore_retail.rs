@@ -1,0 +1,27 @@
+//! Explore the retail batch workload at a few bounds and print coverage.
+//!
+//! ```sh
+//! cargo run --release -p md-race --example explore_retail
+//! ```
+
+use md_race::{retail_scenario, Explorer, RaceConfig};
+use std::time::Instant;
+
+fn main() {
+    for (batches, changes, bound) in [(1usize, 6usize, 12usize), (2, 6, 11)] {
+        let scenario = retail_scenario(batches, changes, 7);
+        let cfg = RaceConfig {
+            bound,
+            max_schedules: 20_000,
+            random_schedules: 8,
+            ..RaceConfig::default()
+        };
+        let t = Instant::now();
+        let report = Explorer::new(&scenario, cfg).run();
+        println!("{} in {:?}", report.summary(), t.elapsed());
+        println!(
+            "  batches={batches} changes={changes}: max_decisions={} events={}",
+            report.max_decisions, report.events
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Workloads for the schedule explorer.
+//!
+//! A [`Scenario`] is a reproducible warehouse run: how to build the
+//! warehouse (from a snapshot image, so hundreds of replays are cheap)
+//! and which batches to apply. The explorer replays the same scenario
+//! under many interleavings and compares every outcome against the
+//! sequential oracle.
+
+use md_relation::{row, Catalog, Change};
+use md_warehouse::{ChangeBatch, Warehouse, WarehouseBuilder};
+use md_workload::retail::{generate_retail, Contracts, RetailParams};
+use md_workload::updates::{product_brand_changes, sale_changes, UpdateMix};
+use md_workload::views;
+
+/// A reproducible warehouse run for the explorer.
+pub trait Scenario {
+    /// Display name, used in reports.
+    fn name(&self) -> &str;
+
+    /// Builds the warehouse under the given configuration (the explorer
+    /// sets the worker count and the executor before calling this).
+    fn build(&self, builder: WarehouseBuilder) -> Warehouse;
+
+    /// The batches to apply, in order.
+    fn batches(&self) -> &[ChangeBatch];
+}
+
+/// A scenario that rebuilds its warehouse from a saved snapshot image —
+/// the cheap, deterministic way to get an identical starting state for
+/// every replayed schedule.
+#[derive(Debug, Clone)]
+pub struct SnapshotScenario {
+    name: String,
+    catalog: Catalog,
+    image: Vec<u8>,
+    batches: Vec<ChangeBatch>,
+    plant_commit_before_append: bool,
+}
+
+impl SnapshotScenario {
+    /// A scenario from an explicit snapshot and batch list.
+    pub fn new(
+        name: impl Into<String>,
+        catalog: Catalog,
+        image: Vec<u8>,
+        batches: Vec<ChangeBatch>,
+    ) -> Self {
+        SnapshotScenario {
+            name: name.into(),
+            catalog,
+            image,
+            batches,
+            plant_commit_before_append: false,
+        }
+    }
+
+    /// Enables the warehouse's planted commit-before-append bug, so a
+    /// test can demonstrate that the explorer catches it.
+    pub fn with_planted_bug(mut self) -> Self {
+        self.plant_commit_before_append = true;
+        self
+    }
+
+    /// The source catalog the scenario's warehouse runs over.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The scenario under a different display name.
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The scenario with its batch list replaced — for deriving delivery
+    /// permutations from a shared snapshot.
+    pub fn with_batches(mut self, batches: Vec<ChangeBatch>) -> Self {
+        self.batches = batches;
+        self
+    }
+}
+
+impl Scenario for SnapshotScenario {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self, builder: WarehouseBuilder) -> Warehouse {
+        let builder = if self.plant_commit_before_append {
+            builder.plant_commit_before_append()
+        } else {
+            builder
+        };
+        builder
+            .restore(&self.catalog, &self.image)
+            .expect("scenario snapshot restores under any configuration")
+    }
+
+    fn batches(&self) -> &[ChangeBatch] {
+        &self.batches
+    }
+}
+
+/// A count-only volume view, so the retail scenario has six summaries
+/// over the fact table (three per worker at `workers = 2`).
+const MONTHLY_VOLUME_SQL: &str = "\
+CREATE VIEW monthly_volume AS
+SELECT time.month, COUNT(*) AS n
+FROM sale, time
+WHERE sale.timeid = time.id
+GROUP BY time.month";
+
+/// A country-level rollup, sixth summary of the retail scenario.
+const COUNTRY_REVENUE_SQL: &str = "\
+CREATE VIEW country_revenue AS
+SELECT store.country, SUM(price) AS Revenue, COUNT(*) AS n
+FROM sale, store
+WHERE sale.storeid = store.id
+GROUP BY store.country";
+
+/// The view definitions of the retail race scenario: the workload's four
+/// paper views plus two extra rollups. All six cover the `sale` fact, so
+/// every sale batch fans out to every engine.
+pub const RETAIL_RACE_VIEW_COUNT: usize = 6;
+
+fn retail_views() -> [&'static str; RETAIL_RACE_VIEW_COUNT] {
+    [
+        views::PRODUCT_SALES_SQL,
+        views::PRODUCT_SALES_MAX_SQL,
+        views::STORE_REVENUE_SQL,
+        views::DAILY_PRODUCT_SQL,
+        MONTHLY_VOLUME_SQL,
+        COUNTRY_REVENUE_SQL,
+    ]
+}
+
+/// The standard retail exploration workload: the tiny retail star under
+/// tight contracts, six summaries over the fact table, and `n_batches`
+/// mixed batches of `changes_per_batch` seeded sale changes (odd batches
+/// also carry two product-brand renames, so the fan-out spans two source
+/// tables). Fully deterministic under `seed`.
+pub fn retail_scenario(n_batches: usize, changes_per_batch: usize, seed: u64) -> SnapshotScenario {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let mut wh = Warehouse::new(db.catalog());
+    for sql in retail_views() {
+        wh.add_summary_sql(sql, &db)
+            .expect("retail race views are valid");
+    }
+    let image = wh.save().expect("fresh warehouse snapshot serializes");
+    let catalog = db.catalog().clone();
+
+    let mut batches = Vec::with_capacity(n_batches);
+    for b in 0..n_batches {
+        let mut batch = ChangeBatch::new();
+        batch.extend(
+            schema.sale,
+            sale_changes(
+                &mut db,
+                &schema,
+                changes_per_batch,
+                UpdateMix::balanced(),
+                seed.wrapping_add(b as u64),
+            ),
+        );
+        if b % 2 == 1 {
+            batch.extend(
+                schema.product,
+                product_brand_changes(&mut db, &schema, 2, seed.wrapping_add(100 + b as u64)),
+            );
+        }
+        batches.push(batch);
+    }
+    SnapshotScenario::new("retail", catalog, image, batches)
+}
+
+/// The retail scenario with a poisoned middle batch: its second batch
+/// deletes a `sale` row that never existed, so every engine rejects it
+/// and the batch lands in the dead-letter store. The explorer asserts
+/// that the rejection — error message, dead letters, surviving state —
+/// is identical on every interleaving.
+pub fn retail_fault_scenario(seed: u64) -> SnapshotScenario {
+    let mut scenario = retail_scenario(3, 6, seed);
+    let schema_sale = {
+        // The poisoned row targets the fact table by name, independent
+        // of TableId assignment order.
+        scenario
+            .catalog
+            .table_id("sale")
+            .expect("retail catalog has a sale table")
+    };
+    let poison = Change::Delete(row![99_999_999_i64, 1_i64, 1_i64, 1_i64, 9.75_f64]);
+    let mut batch = ChangeBatch::new();
+    batch.push(schema_sale, poison);
+    scenario.batches[1] = batch;
+    scenario.name = "retail-poison".into();
+    scenario
+}

@@ -1,0 +1,347 @@
+//! The cooperative stepping executor.
+//!
+//! [`StepExecutor`] implements `md-maintain`'s [`Executor`] trait with
+//! real OS threads that are *fully serialized*: every thread parks at
+//! each of its scheduling points ([`Executor::yield_point`]) and only
+//! ever runs while it holds the single grant. The controlling thread —
+//! the caller of [`Executor::run_tasks`] — waits until every unfinished
+//! task is parked and then grants exactly one of them the next step, so
+//! at most one task thread executes at any moment and the interleaving
+//! is decided entirely by data, never by the OS scheduler.
+//!
+//! The data deciding each step, in priority order:
+//!
+//! 1. the *forced schedule* — a prefix of choice indices replayed
+//!    verbatim (this is how the explorer backtracks and how a printed
+//!    violation is reproduced),
+//! 2. below the *decision bound* — the first runnable task (choice `0`),
+//!    so depth-first enumeration visits every within-bound interleaving,
+//! 3. beyond the bound — a seeded xorshift pick, so deep suffixes get
+//!    randomized coverage that is still reproducible from the seed.
+//!
+//! A choice is only recorded as a [`Decision`] when more than one task
+//! was runnable; forced, first and random picks all land in the same
+//! decision list, so `decisions[i].picked` replayed as the forced
+//! schedule reproduces the run exactly.
+
+use std::sync::{Condvar, Mutex};
+
+use md_maintain::{Executor, SchedEvent, Task, COORDINATOR};
+
+/// One scheduling choice: how many tasks were runnable, which was
+/// granted the step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Number of runnable (parked, unfinished) tasks at the point.
+    pub options: usize,
+    /// Index of the granted task within the sorted runnable set.
+    pub picked: usize,
+}
+
+/// Everything one run recorded: the decisions taken at branch points
+/// and the full event trace in execution order.
+#[derive(Debug, Clone, Default)]
+pub struct RunRecord {
+    /// The choices, in decision order. Replaying them as the forced
+    /// schedule reproduces the run.
+    pub decisions: Vec<Decision>,
+    /// Every scheduling event, in the order it executed.
+    pub trace: Vec<SchedEvent>,
+}
+
+impl RunRecord {
+    /// The run's choice sequence — the forced schedule that replays it.
+    pub fn schedule(&self) -> Vec<usize> {
+        self.decisions.iter().map(|d| d.picked).collect()
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    // Per-run controls (reset by `begin_run`).
+    forced: Vec<usize>,
+    bound: usize,
+    rng: u64,
+    decisions: Vec<Decision>,
+    trace: Vec<SchedEvent>,
+    // Per-fan-out bookkeeping (reset by `run_tasks`).
+    active: bool,
+    total: usize,
+    finished: usize,
+    /// Parked task ids, sorted ascending (the runnable set).
+    parked: Vec<usize>,
+    /// The task currently holding the step grant.
+    granted: Option<usize>,
+}
+
+/// The deterministic stepper. Install it on a warehouse with
+/// `Warehouse::builder().executor(Arc::new(StepExecutor::new()))`, call
+/// [`StepExecutor::begin_run`], drive the warehouse, then collect the
+/// [`RunRecord`] with [`StepExecutor::finish_run`].
+#[derive(Debug, Default)]
+pub struct StepExecutor {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+fn next_rand(rng: &mut u64) -> u64 {
+    // xorshift64* — dependency-free, deterministic, good enough for
+    // schedule sampling.
+    let mut x = *rng;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *rng = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl StepExecutor {
+    /// A fresh stepper (no forced schedule, bound 0, seed 0).
+    pub fn new() -> Self {
+        StepExecutor::default()
+    }
+
+    /// Starts a run: choices `0..forced.len()` are replayed from
+    /// `forced`, further choices up to `bound` take the first runnable
+    /// task, and choices beyond `bound` are drawn from a xorshift
+    /// stream seeded with `seed`. Clears the previous run's record.
+    pub fn begin_run(&self, forced: &[usize], bound: usize, seed: u64) {
+        let mut s = self.state.lock().expect("stepper lock");
+        assert!(!s.active, "begin_run during an active fan-out");
+        s.forced = forced.to_vec();
+        s.bound = bound;
+        s.rng = if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        };
+        s.decisions.clear();
+        s.trace.clear();
+    }
+
+    /// Ends the run and returns its record (decisions + trace).
+    pub fn finish_run(&self) -> RunRecord {
+        let mut s = self.state.lock().expect("stepper lock");
+        assert!(!s.active, "finish_run during an active fan-out");
+        RunRecord {
+            decisions: std::mem::take(&mut s.decisions),
+            trace: std::mem::take(&mut s.trace),
+        }
+    }
+
+    /// The controller: waits until every unfinished task is parked,
+    /// grants one of them the next step, repeats until all finish.
+    fn drive(&self, total: usize) {
+        let mut s = self.state.lock().expect("stepper lock");
+        loop {
+            while s.granted.is_some() || s.parked.len() + s.finished < total {
+                s = self.cv.wait(s).expect("stepper lock");
+            }
+            if s.finished == total {
+                return;
+            }
+            let options = s.parked.len();
+            let pick = if options == 1 {
+                0
+            } else {
+                let idx = s.decisions.len();
+                let picked = if idx < s.forced.len() {
+                    s.forced[idx].min(options - 1)
+                } else if idx < s.bound {
+                    0
+                } else {
+                    (next_rand(&mut s.rng) % options as u64) as usize
+                };
+                s.decisions.push(Decision { options, picked });
+                picked
+            };
+            let id = s.parked.remove(pick);
+            s.granted = Some(id);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Marks its task finished on drop, so a panicking task still releases
+/// the controller instead of deadlocking the scope.
+struct DoneGuard<'a> {
+    exec: &'a StepExecutor,
+    id: usize,
+}
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        let mut s = self.exec.state.lock().expect("stepper lock");
+        s.finished += 1;
+        if s.granted == Some(self.id) {
+            s.granted = None;
+        }
+        if let Ok(pos) = s.parked.binary_search(&self.id) {
+            s.parked.remove(pos);
+        }
+        self.exec.cv.notify_all();
+    }
+}
+
+impl Executor for StepExecutor {
+    fn run_tasks<'a>(&self, tasks: Vec<Task<'a>>) {
+        let total = tasks.len();
+        if total == 0 {
+            return;
+        }
+        {
+            let mut s = self.state.lock().expect("stepper lock");
+            assert!(!s.active, "run_tasks is not reentrant");
+            s.active = true;
+            s.total = total;
+            s.finished = 0;
+            s.parked.clear();
+            s.granted = None;
+        }
+        std::thread::scope(|scope| {
+            for (id, task) in tasks.into_iter().enumerate() {
+                scope.spawn(move || {
+                    let _done = DoneGuard { exec: self, id };
+                    task();
+                });
+            }
+            self.drive(total);
+        });
+        self.state.lock().expect("stepper lock").active = false;
+    }
+
+    fn yield_point(&self, event: SchedEvent) {
+        let mut s = self.state.lock().expect("stepper lock");
+        if !s.active || event.task == COORDINATOR {
+            // Coordinator-phase events (batch markers, WAL appends,
+            // commits) run with no fan-out in flight: record only.
+            s.trace.push(event);
+            return;
+        }
+        let id = event.task;
+        assert!(id < s.total, "yield from unknown task {id}");
+        if s.granted == Some(id) {
+            s.granted = None;
+        }
+        match s.parked.binary_search(&id) {
+            Ok(_) => panic!("task {id} parked twice"),
+            Err(pos) => s.parked.insert(pos, id),
+        }
+        self.cv.notify_all();
+        while s.granted != Some(id) {
+            s = self.cv.wait(s).expect("stepper lock");
+        }
+        // Record the event at grant time, so the trace is in true
+        // execution order. The grant is kept until the task parks at
+        // its next point or finishes.
+        s.trace.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_maintain::SchedOp;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn two_yield_tasks(exec: &StepExecutor, log: &Mutex<Vec<(usize, usize)>>) {
+        let tasks: Vec<Task<'_>> = (0..2)
+            .map(|id| {
+                Box::new(move || {
+                    for step in 0..2 {
+                        exec.yield_point(SchedEvent {
+                            task: id,
+                            op: SchedOp::Prepare {
+                                engine: format!("e{id}.{step}"),
+                            },
+                        });
+                        log.lock().unwrap().push((id, step));
+                    }
+                }) as Task<'_>
+            })
+            .collect();
+        exec.run_tasks(tasks);
+    }
+
+    #[test]
+    fn forced_schedules_are_replayed_exactly() {
+        // Two tasks with two yields each: C(4,2) = 6 interleavings.
+        let mut seen = Vec::new();
+        let mut prefix: Vec<usize> = Vec::new();
+        loop {
+            let exec = StepExecutor::new();
+            exec.begin_run(&prefix, 16, 7);
+            let log = Mutex::new(Vec::new());
+            two_yield_tasks(&exec, &log);
+            let record = exec.finish_run();
+            let order = log.into_inner().unwrap();
+            assert!(!seen.contains(&order), "duplicate interleaving {order:?}");
+            seen.push(order);
+            // Depth-first backtrack over within-bound decisions.
+            let mut next = None;
+            for i in (0..record.decisions.len()).rev() {
+                let d = record.decisions[i];
+                if d.picked + 1 < d.options {
+                    let mut p = record.schedule();
+                    p.truncate(i);
+                    p.push(d.picked + 1);
+                    next = Some(p);
+                    break;
+                }
+            }
+            match next {
+                Some(p) => prefix = p,
+                None => break,
+            }
+        }
+        assert_eq!(seen.len(), 6, "expected all C(4,2) interleavings");
+    }
+
+    #[test]
+    fn replaying_a_recorded_schedule_reproduces_the_order() {
+        let run = |forced: &[usize], seed: u64| {
+            let exec = StepExecutor::new();
+            // bound 0: every branch is seeded-random.
+            exec.begin_run(forced, 0, seed);
+            let log = Mutex::new(Vec::new());
+            two_yield_tasks(&exec, &log);
+            (exec.finish_run(), log.into_inner().unwrap())
+        };
+        let (record, order) = run(&[], 0xFEED);
+        assert!(!record.decisions.is_empty());
+        // Replaying the full recorded choice sequence reproduces the
+        // interleaving regardless of the seed.
+        let (_, replayed) = run(&record.schedule(), 0xDEAD_BEEF);
+        assert_eq!(order, replayed);
+    }
+
+    #[test]
+    fn coordinator_events_record_without_blocking() {
+        let exec = StepExecutor::new();
+        exec.begin_run(&[], 0, 1);
+        exec.yield_point(SchedEvent::coord(SchedOp::BatchEnd { committed: true }));
+        let record = exec.finish_run();
+        assert_eq!(record.trace.len(), 1);
+        assert!(record.decisions.is_empty());
+    }
+
+    #[test]
+    fn single_task_runs_without_decisions() {
+        let exec = Arc::new(StepExecutor::new());
+        exec.begin_run(&[], 16, 1);
+        let ran = AtomicUsize::new(0);
+        let tasks: Vec<Task<'_>> = vec![Box::new(|| {
+            exec.yield_point(SchedEvent {
+                task: 0,
+                op: SchedOp::Prepare {
+                    engine: "only".into(),
+                },
+            });
+            ran.fetch_add(1, Ordering::SeqCst);
+        })];
+        exec.run_tasks(tasks);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert!(exec.finish_run().decisions.is_empty());
+    }
+}

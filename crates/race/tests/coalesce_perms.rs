@@ -1,0 +1,210 @@
+//! Batch-coalescing edge cases under permuted delivery orders.
+//!
+//! A staging area batching trickle-feed activity delivers each row's
+//! changes in order, but rows interleave arbitrarily. These tests
+//! permute a hot-row batch at row granularity (each row's own
+//! subsequence stays ordered, so the stream remains valid), drive every
+//! permutation through the md-race stepper with fixed seeds, and assert
+//! that annihilation (rows born and dead within the batch) and
+//! update-folding (repeated repricings of the same row) produce the
+//! same final state no matter the delivery order or the interleaving.
+
+use md_race::{Explorer, RaceConfig, Scenario, SnapshotScenario};
+use md_relation::{Change, Value};
+use md_warehouse::{ChangeBatch, Warehouse};
+use md_workload::retail::{generate_retail, Contracts, RetailParams, RetailSchema};
+use md_workload::updates::{hot_sale_batches, HotBatchParams};
+use md_workload::views;
+
+/// The row key a change targets (`sale.id` lives in column 0).
+fn change_key(change: &Change) -> Value {
+    match change {
+        Change::Insert(row) | Change::Delete(row) => row[0].clone(),
+        Change::Update { old, .. } => old[0].clone(),
+    }
+}
+
+/// Splits a batch into per-row runs, preserving each row's internal
+/// order: the granularity at which delivery may legally be reordered.
+fn row_groups(changes: &[Change]) -> Vec<Vec<Change>> {
+    let mut keys: Vec<Value> = Vec::new();
+    let mut groups: Vec<Vec<Change>> = Vec::new();
+    for change in changes {
+        let key = change_key(change);
+        match keys.iter().position(|k| *k == key) {
+            Some(i) => groups[i].push(change.clone()),
+            None => {
+                keys.push(key);
+                groups.push(vec![change.clone()]);
+            }
+        }
+    }
+    groups
+}
+
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed ^= seed >> 12;
+        seed ^= seed << 25;
+        seed ^= seed >> 27;
+        let j = (seed.wrapping_mul(0x2545_F491_4F6C_DD1D) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+struct Fixture {
+    schema: RetailSchema,
+    scenario_base: SnapshotScenario,
+    hot_changes: Vec<Change>,
+}
+
+/// A tiny retail warehouse with the four paper views, snapshotted
+/// *before* one hot-row batch (3 rows × 3 repricings + 2 transient
+/// insert/delete pairs) is generated against it.
+fn fixture() -> Fixture {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let mut wh = Warehouse::new(db.catalog());
+    for sql in [
+        views::PRODUCT_SALES_SQL,
+        views::PRODUCT_SALES_MAX_SQL,
+        views::STORE_REVENUE_SQL,
+        views::DAILY_PRODUCT_SQL,
+    ] {
+        wh.add_summary_sql(sql, &db).expect("paper views are valid");
+    }
+    let image = wh.save().expect("fresh warehouse snapshot serializes");
+    let scenario_base =
+        SnapshotScenario::new("coalesce-base", db.catalog().clone(), image, Vec::new());
+    let hot_changes = hot_sale_batches(
+        &mut db,
+        &schema,
+        HotBatchParams {
+            batches: 1,
+            hot_rows: 3,
+            touches: 3,
+            transient_pairs: 2,
+        },
+    )
+    .remove(0);
+    Fixture {
+        schema,
+        scenario_base,
+        hot_changes,
+    }
+}
+
+fn scenario_with(
+    base: &SnapshotScenario,
+    name: &str,
+    schema: &RetailSchema,
+    groups: &[Vec<Change>],
+) -> SnapshotScenario {
+    let mut batch = ChangeBatch::new();
+    for group in groups {
+        batch.extend(schema.sale, group.iter().cloned());
+    }
+    base.clone().renamed(name).with_batches(vec![batch])
+}
+
+fn sequential_image(scenario: &SnapshotScenario) -> Vec<u8> {
+    let mut wh = scenario.build(Warehouse::builder().workers(1));
+    for batch in scenario.batches() {
+        wh.apply_batch(batch).expect("hot batch applies cleanly");
+    }
+    assert!(wh.dead_letters().is_empty(), "no rejections expected");
+    wh.save().expect("warehouse snapshot serializes")
+}
+
+/// Every row-granularity permutation of the hot batch coalesces to the
+/// same state — on the sequential path and under every explored
+/// interleaving — and transient rows leave no trace.
+#[test]
+fn permuted_delivery_orders_coalesce_identically() {
+    let fx = fixture();
+    let groups = row_groups(&fx.hot_changes);
+    assert!(
+        groups.len() >= 5,
+        "3 hot rows + 2 transient pairs should give 5+ row groups, got {}",
+        groups.len()
+    );
+
+    let mut orders: Vec<(String, Vec<Vec<Change>>)> = vec![
+        ("delivery".into(), groups.clone()),
+        ("reversed".into(), {
+            let mut g = groups.clone();
+            g.reverse();
+            g
+        }),
+    ];
+    for seed in [3u64, 17] {
+        let mut g = groups.clone();
+        shuffle(&mut g, seed);
+        orders.push((format!("shuffled-{seed}"), g));
+    }
+
+    let cfg = RaceConfig {
+        bound: 8,
+        max_schedules: 500,
+        random_schedules: 4,
+        seed: 0xC0A1,
+        ..RaceConfig::default()
+    };
+    let mut images = Vec::new();
+    for (name, order) in &orders {
+        let scenario = scenario_with(&fx.scenario_base, name, &fx.schema, order);
+        let report = Explorer::new(&scenario, cfg.clone()).run();
+        assert!(report.exhaustive, "{name}: bounded enumeration must finish");
+        assert!(
+            report.is_clean(),
+            "{name}: coalescing must be schedule-independent:\n{}",
+            report
+                .violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        images.push((name.clone(), sequential_image(&scenario)));
+    }
+    let (first_name, first) = &images[0];
+    for (name, image) in &images[1..] {
+        assert_eq!(
+            image, first,
+            "delivery order {name} diverged from {first_name}"
+        );
+    }
+}
+
+/// A batch whose changes all cancel out — transient insert/delete pairs
+/// only — is a no-op: it commits cleanly on every interleaving and the
+/// explorer sees a single schedule (nothing fans out after coalescing
+/// drops every group).
+#[test]
+fn fully_annihilating_batch_is_schedule_independent() {
+    let fx = fixture();
+    let groups = row_groups(&fx.hot_changes);
+    // Transient pairs are exactly the insert-then-delete groups.
+    let transient: Vec<Vec<Change>> = groups
+        .into_iter()
+        .filter(|g| {
+            matches!(g.first(), Some(Change::Insert(_)))
+                && matches!(g.last(), Some(Change::Delete(_)))
+        })
+        .collect();
+    assert_eq!(transient.len(), 2, "fixture plants two transient pairs");
+
+    let scenario = scenario_with(&fx.scenario_base, "annihilate", &fx.schema, &transient);
+    let report = Explorer::new(
+        &scenario,
+        RaceConfig {
+            bound: 8,
+            max_schedules: 100,
+            random_schedules: 2,
+            seed: 0xA111,
+            ..RaceConfig::default()
+        },
+    )
+    .run();
+    assert!(report.is_clean(), "{}", report.summary());
+    sequential_image(&scenario);
+}

@@ -42,13 +42,14 @@
 
 use std::collections::BTreeMap;
 use std::ops::Deref;
+use std::sync::Arc;
 use std::time::Instant;
 
 use md_algebra::GpsjView;
 use md_core::{derive, DerivedPlan};
 use md_maintain::{
-    AuditReport, ChangeBatch, FaultPlan, MaintStats, MaintainError, MaintenanceEngine, StorageLine,
-    Wal,
+    AuditReport, ChangeBatch, Executor, FaultPlan, MaintStats, MaintainError, MaintenanceEngine,
+    SchedEvent, SchedOp, StorageLine, Task, ThreadExecutor, Wal,
 };
 use md_obs::{Counter, Gauge, Histogram, Obs, ObsConfig};
 use md_relation::{Bag, Catalog, Change, Database, Decoder, Encoder, Row, TableId};
@@ -237,6 +238,8 @@ pub struct WarehouseBuilder {
     coalesce: bool,
     strict: bool,
     obs: ObsConfig,
+    executor: Arc<dyn Executor>,
+    commit_before_append: bool,
 }
 
 impl Default for WarehouseBuilder {
@@ -249,6 +252,8 @@ impl Default for WarehouseBuilder {
             coalesce: true,
             strict: false,
             obs: ObsConfig::off(),
+            executor: Arc::new(ThreadExecutor),
+            commit_before_append: false,
         }
     }
 }
@@ -305,6 +310,27 @@ impl WarehouseBuilder {
     /// definitions were accepted when first registered).
     pub fn strict(mut self) -> Self {
         self.strict = true;
+        self
+    }
+
+    /// Replaces the executor the scheduler's fan-out/join, WAL-append
+    /// and commit steps run against. The default is
+    /// [`ThreadExecutor`] — real scoped OS threads, scheduling points
+    /// ignored. `md-race` installs its deterministic stepper here to
+    /// enumerate interleavings of the announced scheduling points.
+    pub fn executor(mut self, executor: Arc<dyn Executor>) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Plants the commit-before-append scheduler bug: the commit phase
+    /// runs *before* the batch is logged, so a crash between the two
+    /// loses committed changes. This exists only so `md-race` (and the
+    /// MD060 static pass) can demonstrate that they catch the ordering
+    /// violation; never enable it outside of tests.
+    #[doc(hidden)]
+    pub fn plant_commit_before_append(mut self) -> Self {
+        self.commit_before_append = true;
         self
     }
 
@@ -498,12 +524,6 @@ impl Warehouse {
         &mut self.dead_letters
     }
 
-    /// Removes and returns the accumulated dead letters.
-    #[deprecated(note = "use `dead_letters_mut().drain()`")]
-    pub fn take_dead_letters(&mut self) -> Vec<DeadLetter> {
-        self.dead_letters.drain()
-    }
-
     /// Scheduler counters: batch/change volumes and per-stage wall time
     /// (a view over the `sched.*` metrics; see [`SchedulerStats`] for
     /// which clock each field measures).
@@ -630,14 +650,6 @@ impl Warehouse {
             .ok_or_else(|| WarehouseError::UnknownSummary(name.to_owned()))
     }
 
-    /// Applies a batch of source changes on one table — the legacy
-    /// single-table entry point, now a thin wrapper over
-    /// [`Warehouse::apply_batch`].
-    #[deprecated(note = "use `apply_batch` with a `ChangeBatch`")]
-    pub fn apply(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
-        self.apply_batch(&ChangeBatch::single(table, changes.to_vec()))
-    }
-
     /// Applies one multi-table [`ChangeBatch`] to every summary — with no
     /// source access. This is the single ingestion entry point.
     ///
@@ -678,7 +690,13 @@ impl Warehouse {
             .coalesce_annihilated
             .add(batch.change_count().saturating_sub(work.change_count()) as u64);
 
-        match self.try_apply_batch(&work) {
+        let outcome = self.try_apply_batch(&work);
+        self.config
+            .executor
+            .yield_point(SchedEvent::coord(SchedOp::BatchEnd {
+                committed: outcome.is_ok(),
+            }));
+        match outcome {
             Ok(()) => {
                 self.sched.batches_applied.incr();
                 Ok(())
@@ -722,18 +740,23 @@ impl Warehouse {
 
     fn try_apply_batch(&mut self, work: &ChangeBatch) -> Result<()> {
         self.config.faults.hit("warehouse.apply.begin")?;
+        let executor = Arc::clone(&self.config.executor);
         let groups = work.groups();
         let lsns: Vec<(TableId, u64)> = groups
             .iter()
             .map(|(t, _)| (*t, self.table_seq(*t) + 1))
             .collect();
+        executor.yield_point(SchedEvent::coord(SchedOp::BatchStart {
+            lsns: lsns.clone(),
+        }));
 
         // Phase 1: prepare every affected engine, partitioned across the
-        // configured workers. Every engine runs its whole share — even
-        // after another engine fails — so the set of discovered failures
-        // (and therefore the dead letters and the returned error) does
-        // not depend on thread timing. Results come back in engine-name
-        // order.
+        // configured workers and run through the executor (scoped OS
+        // threads in production, md-race's stepper under test). Every
+        // engine runs its whole share — even after another engine fails —
+        // so the set of discovered failures (and therefore the dead
+        // letters and the returned error) does not depend on thread
+        // timing. Results come back in engine-name order.
         let fanout_started = Instant::now();
         let fanout_span = self.obs.span("scheduler.fanout");
         // One engine's share of the batch: its name, exclusive access to
@@ -760,35 +783,49 @@ impl Warehouse {
                     }
                 })
                 .collect();
-            let workers = self.config.workers.min(assignments.len()).max(1);
-            if workers <= 1 {
-                assignments
-                    .iter_mut()
-                    .map(|(name, engine, eng_groups)| {
-                        (name.clone(), engine.prepare_batch(eng_groups))
-                    })
-                    .collect()
+            if assignments.is_empty() {
+                Vec::new()
             } else {
+                let workers = self.config.workers.min(assignments.len()).max(1);
                 let per_worker = assignments.len().div_ceil(workers);
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = assignments
-                        .chunks_mut(per_worker)
-                        .map(|chunk| {
-                            s.spawn(move || {
-                                chunk
-                                    .iter_mut()
-                                    .map(|(name, engine, eng_groups)| {
-                                        (name.clone(), engine.prepare_batch(eng_groups))
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("maintenance worker panicked"))
-                        .collect()
-                })
+                // Each task writes its chunk's results into its own slice
+                // of `results`, so completion order never reorders them.
+                let mut results: Vec<Option<(String, std::result::Result<(), MaintainError>)>> =
+                    assignments.iter().map(|_| None).collect();
+                let exec: &dyn Executor = executor.as_ref();
+                let tasks: Vec<Task<'_>> = assignments
+                    .chunks_mut(per_worker)
+                    .zip(results.chunks_mut(per_worker))
+                    .enumerate()
+                    .map(|(task, (chunk, slots))| {
+                        Box::new(move || {
+                            for ((name, engine, eng_groups), slot) in
+                                chunk.iter_mut().zip(slots.iter_mut())
+                            {
+                                exec.yield_point(SchedEvent {
+                                    task,
+                                    op: SchedOp::Prepare {
+                                        engine: name.clone(),
+                                    },
+                                });
+                                let result = engine.prepare_batch(eng_groups);
+                                exec.yield_point(SchedEvent {
+                                    task,
+                                    op: SchedOp::PrepareDone {
+                                        engine: name.clone(),
+                                        ok: result.is_ok(),
+                                    },
+                                });
+                                *slot = Some((name.clone(), result));
+                            }
+                        }) as Task<'_>
+                    })
+                    .collect();
+                exec.run_tasks(tasks);
+                results
+                    .into_iter()
+                    .map(|slot| slot.expect("executor ran every task to completion"))
+                    .collect()
             }
         };
         drop(fanout_span.field("engines", outcome.len()));
@@ -810,53 +847,86 @@ impl Warehouse {
         }
         if let Some(e) = first_failure {
             // Failed engines already rolled themselves back.
-            self.rollback_prepared(&prepared);
+            self.rollback_prepared(&prepared, executor.as_ref());
             return Err(e.into());
         }
 
-        // Log the whole batch durably — one frame per table, all at this
-        // single append point — before committing it anywhere.
-        if self.wal.is_some() {
-            // Injection point: a crash mid-append leaves a torn frame
-            // that recovery must treat as absent.
-            if let Err(e) = self.config.faults.hit("warehouse.wal.torn") {
-                if let (Some((table, changes)), Some((_, lsn))) = (groups.first(), lsns.first()) {
-                    self.wal
-                        .as_mut()
-                        .expect("checked")
-                        .append_torn(*table, *lsn, changes);
-                }
-                self.rollback_prepared(&prepared);
-                return Err(e.into());
-            }
-            // Injection point: a crash before any log bytes are written.
-            if let Err(e) = self.config.faults.hit("warehouse.wal.append") {
-                self.rollback_prepared(&prepared);
-                return Err(e.into());
-            }
-            let wal_started = Instant::now();
-            let wal_span = self.obs.span("wal.append");
-            let wal = self.wal.as_mut().expect("checked");
-            let bytes_before = wal.bytes().len() as u64;
-            for ((table, changes), (_, lsn)) in groups.iter().zip(&lsns) {
-                wal.append(*table, *lsn, changes);
-            }
-            let appended = (wal.bytes().len() as u64).saturating_sub(bytes_before);
-            self.sched.wal_append_bytes.observe(appended);
-            drop(wal_span.field("bytes", appended));
-            self.sched
-                .wal_nanos
-                .add(wal_started.elapsed().as_nanos() as u64);
+        if self.config.commit_before_append {
+            // The planted ordering bug (testing only; see
+            // `WarehouseBuilder::plant_commit_before_append`).
+            self.commit_phase(&prepared, &lsns, executor.as_ref())?;
+            self.wal_phase(groups, &lsns, &prepared, executor.as_ref())?;
+        } else {
+            self.wal_phase(groups, &lsns, &prepared, executor.as_ref())?;
+            self.commit_phase(&prepared, &lsns, executor.as_ref())?;
         }
+        Ok(())
+    }
 
-        // Phase 2: commit everywhere. Infallible in production (the
-        // injection point simulates a crash between the log append and
-        // the in-memory commit — recovery replays the logged batch).
+    /// Logs the whole batch durably — one frame per table, all at this
+    /// single append point — before it is committed anywhere.
+    fn wal_phase(
+        &mut self,
+        groups: &[(TableId, Vec<Change>)],
+        lsns: &[(TableId, u64)],
+        prepared: &[String],
+        exec: &dyn Executor,
+    ) -> Result<()> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        // Injection point: a crash mid-append leaves a torn frame
+        // that recovery must treat as absent.
+        if let Err(e) = self.config.faults.hit("warehouse.wal.torn") {
+            if let (Some((table, changes)), Some((_, lsn))) = (groups.first(), lsns.first()) {
+                self.wal
+                    .as_mut()
+                    .expect("checked")
+                    .append_torn(*table, *lsn, changes);
+            }
+            self.rollback_prepared(prepared, exec);
+            return Err(e.into());
+        }
+        // Injection point: a crash before any log bytes are written.
+        if let Err(e) = self.config.faults.hit("warehouse.wal.append") {
+            self.rollback_prepared(prepared, exec);
+            return Err(e.into());
+        }
+        let wal_started = Instant::now();
+        let wal_span = self.obs.span("wal.append");
+        let wal = self.wal.as_mut().expect("checked");
+        let bytes_before = wal.bytes().len() as u64;
+        for ((table, changes), (_, lsn)) in groups.iter().zip(lsns) {
+            exec.yield_point(SchedEvent::coord(SchedOp::WalAppend {
+                table: *table,
+                lsn: *lsn,
+            }));
+            wal.append(*table, *lsn, changes);
+        }
+        let appended = (wal.bytes().len() as u64).saturating_sub(bytes_before);
+        self.sched.wal_append_bytes.observe(appended);
+        drop(wal_span.field("bytes", appended));
+        self.sched
+            .wal_nanos
+            .add(wal_started.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// Phase 2: commit everywhere and advance the per-table sequence
+    /// numbers. Infallible in production (the injection point simulates
+    /// a crash between the log append and the in-memory commit —
+    /// recovery replays the logged batch).
+    fn commit_phase(
+        &mut self,
+        prepared: &[String],
+        lsns: &[(TableId, u64)],
+        exec: &dyn Executor,
+    ) -> Result<()> {
         if let Err(e) = self.config.faults.hit("warehouse.apply.commit") {
-            self.rollback_prepared(&prepared);
-            if self.wal.is_some() {
+            self.rollback_prepared(prepared, exec);
+            if self.wal.is_some() && !self.config.commit_before_append {
                 // The LSNs are burnt: the log already holds this batch.
-                for (table, lsn) in &lsns {
+                for (table, lsn) in lsns {
                     self.table_seq.insert(*table, *lsn);
                 }
             }
@@ -867,7 +937,10 @@ impl Warehouse {
             .obs
             .span("warehouse.commit")
             .field("engines", prepared.len());
-        for name in &prepared {
+        for name in prepared {
+            exec.yield_point(SchedEvent::coord(SchedOp::Commit {
+                engine: name.clone(),
+            }));
             let engine = self.engines.get_mut(name).expect("listed above");
             let eng_lsns: Vec<(TableId, u64)> = lsns
                 .iter()
@@ -876,7 +949,7 @@ impl Warehouse {
                 .collect();
             engine.commit_batch(&eng_lsns);
         }
-        for (table, lsn) in &lsns {
+        for (table, lsn) in lsns {
             self.table_seq.insert(*table, *lsn);
         }
         drop(commit_span);
@@ -886,12 +959,107 @@ impl Warehouse {
         Ok(())
     }
 
-    fn rollback_prepared(&mut self, names: &[String]) {
+    fn rollback_prepared(&mut self, names: &[String], exec: &dyn Executor) {
         for name in names {
             if let Some(engine) = self.engines.get_mut(name) {
+                exec.yield_point(SchedEvent::coord(SchedOp::Rollback {
+                    engine: name.clone(),
+                }));
                 engine.rollback_prepared();
             }
         }
+    }
+
+    /// Describes the schedule the scheduler would run for `batch` as an
+    /// abstract [`md_check::SchedModel`], for the `MD06x` static
+    /// ordering pass: per-worker engine acquisitions and prepares, then
+    /// the coordinator's WAL appends and commits (in the planted-bug
+    /// configuration, commits first — which `md_check::check_schedule`
+    /// flags as MD060 without running anything). Thread `0` is the
+    /// coordinator; worker tasks are `1..`.
+    pub fn schedule_model(&self, batch: &ChangeBatch) -> md_check::SchedModel {
+        use md_check::SchedModelOp as Op;
+        let work = if self.config.coalesce {
+            batch.coalesced()
+        } else {
+            batch.clone()
+        };
+        let groups = work.groups();
+        let table_name = |t: TableId| {
+            self.catalog
+                .def(t)
+                .map(|d| d.name.clone())
+                .unwrap_or_else(|_| format!("table#{}", t.0))
+        };
+
+        let mut model = md_check::SchedModel::new();
+        model.wal_enabled = self.wal.is_some();
+        model.push(0, Op::BatchStart);
+
+        // The prepare fan-out: engines partitioned across workers in
+        // name order, exactly as `try_apply_batch` chunks them.
+        let assignments: Vec<&String> = self
+            .engines
+            .iter()
+            .filter(|(_, engine)| {
+                groups
+                    .iter()
+                    .any(|(t, _)| engine.plan().view.tables.contains(t))
+            })
+            .map(|(name, _)| name)
+            .collect();
+        if !assignments.is_empty() {
+            let workers = self.config.workers.min(assignments.len()).max(1);
+            let per_worker = assignments.len().div_ceil(workers);
+            for (task, chunk) in assignments.chunks(per_worker).enumerate() {
+                for name in chunk {
+                    model.push(
+                        task + 1,
+                        Op::Acquire {
+                            engine: (*name).clone(),
+                        },
+                    );
+                    model.push(
+                        task + 1,
+                        Op::Prepare {
+                            engine: (*name).clone(),
+                        },
+                    );
+                    model.push(
+                        task + 1,
+                        Op::Release {
+                            engine: (*name).clone(),
+                        },
+                    );
+                }
+            }
+        }
+
+        let mut appends = Vec::new();
+        if self.wal.is_some() {
+            for (t, _) in groups {
+                appends.push(Op::WalAppend {
+                    table: table_name(*t),
+                    lsn: self.table_seq(*t) + 1,
+                });
+            }
+        }
+        let commits: Vec<Op> = assignments
+            .iter()
+            .map(|name| Op::Commit {
+                engine: (*name).clone(),
+            })
+            .collect();
+        let (first, second) = if self.config.commit_before_append {
+            (commits, appends)
+        } else {
+            (appends, commits)
+        };
+        for op in first.into_iter().chain(second) {
+            model.push(0, op);
+        }
+        model.push(0, Op::BatchEnd);
+        model
     }
 
     /// Source-free integrity audit of every summary: recomputes each `V`
@@ -1142,16 +1310,52 @@ mod tests {
     }
 
     #[test]
-    fn legacy_apply_wrapper_still_works() {
-        #![allow(deprecated)]
+    fn single_table_batches_go_through_apply_batch() {
+        // The legacy `Warehouse::apply(table, changes)` wrapper is gone;
+        // `ChangeBatch::single` is the spelling for one-table batches,
+        // and the scheduler has exactly one ingestion path to model.
         let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
         let mut wh = Warehouse::new(db.catalog());
         wh.add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db)
             .unwrap();
         let changes = sale_changes(&mut db, &schema, 20, UpdateMix::balanced(), 9);
-        wh.apply(schema.sale, &changes).unwrap();
+        wh.apply_batch(&ChangeBatch::single(schema.sale, changes))
+            .unwrap();
         assert!(wh.verify_all(&db).unwrap());
         assert_eq!(wh.table_seq(schema.sale), 1);
+    }
+
+    #[test]
+    fn schedule_model_is_clean_and_planted_bug_is_md060() {
+        let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let mut wh = Warehouse::builder().workers(2).build(db.catalog());
+        wh.add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db)
+            .unwrap();
+        wh.add_summary_sql(md_workload::views::STORE_REVENUE_SQL, &db)
+            .unwrap();
+        let batch = ChangeBatch::single(
+            schema.sale,
+            sale_changes(&mut db, &schema, 6, UpdateMix::balanced(), 3),
+        );
+        let model = wh.schedule_model(&batch);
+        let report = md_check::check_schedule(&model);
+        assert!(report.is_clean(), "{}", report.render());
+
+        // The same warehouse with the planted ordering bug is flagged
+        // statically, before anything runs.
+        let mut buggy = Warehouse::builder()
+            .workers(2)
+            .plant_commit_before_append()
+            .build(db.catalog());
+        buggy
+            .add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db)
+            .unwrap();
+        let report = md_check::check_schedule(&buggy.schedule_model(&batch));
+        assert!(report.has_errors());
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == md_check::Code::Md060));
     }
 
     #[test]
