@@ -19,6 +19,8 @@
 //! \metrics [--json]          metrics registry (Prometheus text or JSON)
 //! \trace on|off|dump FILE    toggle span tracing / export a Chrome trace
 //! \deadletters               rejected batches kept for inspection
+//! \quarantine                isolated summaries and their queued deltas
+//! \repair NAME               rebuild a quarantined summary and replay its queue
 //! \wal                       change-log status (records, bytes)
 //! \save FILE | \restore FILE persist / restart from the warehouse image
 //! \recover FILE              crash recovery: image + FILE.wal log replay
@@ -35,7 +37,9 @@
 //! `mindetail race [--workers N] [--bound N] [--seed HEX]` explores
 //! scheduler interleavings with md-race and exits non-zero on any
 //! invariant violation (`--planted-bug` asserts the planted commit
-//! reordering is caught instead).
+//! reordering is caught instead). `mindetail chaos [--seeds N] [--test]`
+//! runs seeded fault storms against the quarantine/repair/retry
+//! machinery and exits non-zero on any invariant violation.
 //!
 //! Try: `cargo run -p md-bench --bin mindetail -- --demo`
 
@@ -64,9 +68,13 @@ struct Shell {
 
 impl Shell {
     fn builder(&self) -> WarehouseBuilder {
+        // Quarantine on: a summary whose prepare fails is isolated (see
+        // `\quarantine`) and repairable (`\repair NAME`) instead of
+        // rejecting the whole batch.
         Warehouse::builder()
             .workers(self.workers)
             .observe(self.obs_config)
+            .quarantine(true)
     }
 }
 
@@ -77,6 +85,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("race") {
         std::process::exit(run_race(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        std::process::exit(run_chaos_cmd(&args[1..]));
     }
     let workers: usize = args
         .iter()
@@ -100,6 +111,7 @@ fn main() {
     let wh = Warehouse::builder()
         .workers(workers)
         .observe(obs_config)
+        .quarantine(true)
         .build(db.catalog());
     let mut shell = Shell {
         wh,
@@ -324,6 +336,48 @@ fn run_race(args: &[String]) -> i32 {
     }
 }
 
+/// Batch mode: `mindetail chaos [--seeds N] [--start-seed HEX] [--test]`
+/// runs seeded randomized fault storms (transient I/O faults, engine-scoped
+/// mid-prepare panics and crashes) against the warehouse's quarantine,
+/// auto-repair and retry machinery and exits non-zero if any storm
+/// violates an invariant — suitable for CI. `--test` is the smoke
+/// profile: fewer seeds by default, workers = 2 only.
+fn run_chaos_cmd(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: mindetail chaos [--seeds N] [--start-seed HEX] [--test]");
+        return 2;
+    }
+    let test = args.iter().any(|a| a == "--test");
+    let seeds: u64 = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if test { 32 } else { 500 });
+    let start_seed = args
+        .iter()
+        .position(|a| a == "--start-seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+        .unwrap_or(0xC4A0_5000);
+    let cfg = md_race::ChaosConfig {
+        seeds,
+        start_seed,
+        workers: if test { vec![2] } else { vec![2, 4] },
+        ..md_race::ChaosConfig::default()
+    };
+    let report = md_race::run_chaos(&cfg);
+    println!("{}", report.summary());
+    if report.is_clean() {
+        0
+    } else {
+        for v in &report.violations {
+            eprintln!("{v}");
+        }
+        1
+    }
+}
+
 /// Splits a script into statements: backslash commands are line-delimited,
 /// SQL is semicolon-delimited.
 fn split_statements(text: &str) -> Vec<String> {
@@ -382,7 +436,7 @@ impl Shell {
                      \\tables  \\views  \\explain NAME  \\check [NAME]  \\rows NAME [N]\n\
                      \\storage  \\shared  \\churn N  \\verify\n\
                      \\audit  \\sched  \\metrics [--json]  \\trace on|off|dump FILE\n\
-                     \\deadletters  \\wal\n\
+                     \\deadletters  \\quarantine  \\repair NAME  \\wal\n\
                      \\save FILE  \\restore FILE  \\recover FILE  \\quit"
                 );
             }
@@ -583,6 +637,45 @@ impl Shell {
                         l.reason
                     );
                 }
+            }
+            "\\quarantine" => {
+                let entries: Vec<(String, u64, usize, usize, String)> = self
+                    .wh
+                    .quarantined()
+                    .map(|(name, e)| {
+                        (
+                            name.to_owned(),
+                            e.since_lsn(),
+                            e.pending_groups(),
+                            e.pending_changes(),
+                            e.cause().to_owned(),
+                        )
+                    })
+                    .collect();
+                if entries.is_empty() {
+                    println!("(no quarantined summaries)");
+                }
+                for (name, since, groups, changes, cause) in entries {
+                    println!(
+                        "{name}: quarantined since lsn {since}, {groups} batch group(s) \
+                         ({changes} change(s)) queued"
+                    );
+                    println!("  cause: {cause}");
+                    println!("  repair with: \\repair {name}");
+                }
+            }
+            "\\repair" => {
+                let name = arg1.ok_or("usage: \\repair NAME")?;
+                let report = self.wh.repair(name).map_err(|e| e.to_string())?;
+                println!(
+                    "repaired '{}' in {:.2} ms: rebuilt {} row(s) from the auxiliary \
+                     views, replayed {} queued group(s), {} dead-lettered",
+                    report.summary,
+                    report.elapsed_nanos as f64 / 1e6,
+                    report.rebuilt_rows,
+                    report.replayed_groups,
+                    report.dead_lettered
+                );
             }
             "\\wal" => match self.wh.wal_bytes() {
                 None => println!("change log disabled"),

@@ -1,0 +1,250 @@
+//! `report_faults` — fault-domain isolation costs behind `BENCH_faults.json`.
+//!
+//! Three measurements over the retail workload:
+//!
+//! 1. **Repair vs recompute** — a summary is quarantined by an injected
+//!    mid-prepare fault, then repaired: rebuilt from its auxiliary views
+//!    and its queued deltas replayed. The repair latency is compared
+//!    against recomputing the whole warehouse from the base tables; the
+//!    run asserts repair is faster (that is the point of keeping the
+//!    auxiliary views around).
+//! 2. **Retry overhead** — per-batch apply latency with a transient
+//!    torn-write fault storm on the change-log append (healed by the
+//!    bounded-backoff retry) versus a fault-free run.
+//! 3. **Chaos summary** — the seeded fault-storm exploration from
+//!    md-race (`mindetail chaos`): storms, runs, faults, violations.
+//!    The run aborts if any storm violates an invariant.
+//!
+//! Run with: `cargo run --release -p md-bench --bin report_faults`
+//! (`--test` runs a seconds-scale smoke configuration for CI).
+
+use std::time::Instant;
+
+use md_maintain::{FaultPlan, IoFaultKind};
+use md_race::{run_chaos, ChaosConfig};
+use md_warehouse::{ChangeBatch, Warehouse};
+use md_workload::{generate_retail, sale_changes, views, Contracts, RetailParams, UpdateMix};
+
+struct Sizing {
+    params: RetailParams,
+    changes_per_batch: usize,
+    repair_iters: usize,
+    retry_batches: usize,
+    chaos_seeds: u64,
+    chaos_workers: Vec<usize>,
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+const PAPER_VIEWS: [&str; 4] = [
+    views::PRODUCT_SALES_SQL,
+    views::PRODUCT_SALES_MAX_SQL,
+    views::STORE_REVENUE_SQL,
+    views::DAILY_PRODUCT_SQL,
+];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let sizes = if smoke {
+        Sizing {
+            params: RetailParams::tiny(),
+            changes_per_batch: 100,
+            repair_iters: 3,
+            retry_batches: 8,
+            chaos_seeds: 32,
+            chaos_workers: vec![2],
+        }
+    } else {
+        Sizing {
+            params: RetailParams::small(),
+            changes_per_batch: 500,
+            repair_iters: 5,
+            retry_batches: 32,
+            chaos_seeds: 500,
+            chaos_workers: vec![2, 4],
+        }
+    };
+
+    // ------------------------------------------------------------------
+    // 1. Repair latency vs full-warehouse recompute.
+    // ------------------------------------------------------------------
+    let (mut db, schema) = generate_retail(sizes.params, Contracts::Tight);
+    let mut faults = FaultPlan::recording();
+    let mut wh = Warehouse::builder()
+        .workers(2)
+        .quarantine(true)
+        .fault_plan(faults.clone())
+        .build(db.catalog());
+    for sql in PAPER_VIEWS {
+        wh.add_summary_sql(sql, &db).expect("paper views are valid");
+    }
+
+    let mut repair_nanos = Vec::with_capacity(sizes.repair_iters);
+    let mut replayed_total = 0usize;
+    let mut rebuilt_rows = 0u64;
+    for i in 0..sizes.repair_iters {
+        // Quarantine `daily_product` with an injected mid-prepare crash,
+        // queueing the batch's deltas behind the watermark.
+        faults.arm("engine.apply.change@daily_product", 0);
+        let changes = sale_changes(
+            &mut db,
+            &schema,
+            sizes.changes_per_batch,
+            UpdateMix::balanced(),
+            900 + i as u64,
+        );
+        wh.apply_batch(&ChangeBatch::single(schema.sale, changes))
+            .expect("quarantine absorbs the injected fault");
+        assert!(wh.is_quarantined("daily_product"));
+        let report = wh.repair("daily_product").expect("repair succeeds");
+        repair_nanos.push(report.elapsed_nanos);
+        replayed_total += report.replayed_groups;
+        rebuilt_rows = report.rebuilt_rows;
+    }
+    for (name, report) in wh.audit() {
+        assert!(report.is_clean(), "audit of '{name}' after repairs");
+    }
+
+    // The alternative to repair: recompute every summary from sources.
+    let recompute_nanos = {
+        let t = Instant::now();
+        let mut fresh = Warehouse::new(db.catalog());
+        for sql in PAPER_VIEWS {
+            fresh
+                .add_summary_sql(sql, &db)
+                .expect("paper views are valid");
+        }
+        t.elapsed().as_nanos() as u64
+    };
+    let repair_med = median(repair_nanos.clone());
+    assert!(
+        repair_med < recompute_nanos,
+        "repair ({repair_med} ns) must beat a full recompute ({recompute_nanos} ns)"
+    );
+    eprintln!(
+        "repair: median {:.2} ms over {} iters ({} rows rebuilt, {} groups replayed) \
+         vs full recompute {:.2} ms",
+        repair_med as f64 / 1e6,
+        sizes.repair_iters,
+        rebuilt_rows,
+        replayed_total,
+        recompute_nanos as f64 / 1e6,
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Retry overhead on the change-log append.
+    // ------------------------------------------------------------------
+    let run_batches = |arm_torn: bool| -> (u64, Vec<u64>) {
+        let (mut db, schema) = generate_retail(sizes.params, Contracts::Tight);
+        let mut faults = FaultPlan::default();
+        if arm_torn {
+            for b in 0..sizes.retry_batches {
+                // Every batch's append fails once with a torn write and
+                // heals on the first retry.
+                faults.arm_transient("warehouse.wal.append", 2 * b as u64, IoFaultKind::Torn, 1);
+            }
+        }
+        let mut wh = Warehouse::builder()
+            .workers(2)
+            .fault_plan(faults)
+            .build(db.catalog());
+        for sql in PAPER_VIEWS {
+            wh.add_summary_sql(sql, &db).expect("paper views are valid");
+        }
+        let mut per_batch = Vec::with_capacity(sizes.retry_batches);
+        for b in 0..sizes.retry_batches {
+            let changes = sale_changes(
+                &mut db,
+                &schema,
+                sizes.changes_per_batch,
+                UpdateMix::balanced(),
+                1700 + b as u64,
+            );
+            let t = Instant::now();
+            wh.apply_batch(&ChangeBatch::single(schema.sale, changes))
+                .expect("retries absorb the torn writes");
+            per_batch.push(t.elapsed().as_nanos() as u64);
+        }
+        (wh.scheduler_stats().batches_applied, per_batch)
+    };
+    let (clean_batches, clean_nanos) = run_batches(false);
+    let (faulted_batches, faulted_nanos) = run_batches(true);
+    assert_eq!(clean_batches, faulted_batches);
+    let clean_med = median(clean_nanos);
+    let faulted_med = median(faulted_nanos);
+    let overhead_pct = 100.0 * (faulted_med as f64 - clean_med as f64) / clean_med as f64;
+    eprintln!(
+        "retry: median batch {:.2} ms clean vs {:.2} ms with one torn append per batch \
+         ({overhead_pct:+.1}%)",
+        clean_med as f64 / 1e6,
+        faulted_med as f64 / 1e6,
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Chaos exploration.
+    // ------------------------------------------------------------------
+    let chaos_cfg = ChaosConfig {
+        seeds: sizes.chaos_seeds,
+        workers: sizes.chaos_workers.clone(),
+        ..ChaosConfig::default()
+    };
+    let t = Instant::now();
+    let chaos = run_chaos(&chaos_cfg);
+    let chaos_secs = t.elapsed().as_secs_f64();
+    eprintln!("{} in {chaos_secs:.2}s", chaos.summary());
+    assert!(
+        chaos.is_clean(),
+        "chaos found invariant violations:\n{}",
+        chaos.violations.join("\n")
+    );
+
+    let json = format!(
+        r#"{{
+  "bench": "fault_domain_isolation",
+  "workload": "retail star ({scale}), 4 paper views, {cpb} changes/batch",
+  "repair": {{
+    "iterations": {iters},
+    "median_repair_ns": {repair_med},
+    "rebuilt_rows": {rebuilt_rows},
+    "replayed_groups_total": {replayed_total},
+    "full_recompute_ns": {recompute_nanos},
+    "speedup_vs_recompute": {speedup:.1}
+  }},
+  "retry": {{
+    "batches": {retry_batches},
+    "median_batch_ns_clean": {clean_med},
+    "median_batch_ns_one_torn_append": {faulted_med},
+    "overhead_pct": {overhead_pct:.1}
+  }},
+  "chaos": {{
+    "storms": {storms},
+    "runs": {runs},
+    "faults_armed": {armed},
+    "panics_armed": {panics},
+    "crashes_armed": {crashes},
+    "transients_armed": {transients},
+    "violations": {violations},
+    "elapsed_s": {chaos_secs:.2}
+  }}
+}}
+"#,
+        scale = if smoke { "tiny" } else { "small" },
+        cpb = sizes.changes_per_batch,
+        iters = sizes.repair_iters,
+        speedup = recompute_nanos as f64 / repair_med as f64,
+        retry_batches = sizes.retry_batches,
+        storms = chaos.seeds,
+        runs = chaos.runs,
+        armed = chaos.faults_armed,
+        panics = chaos.panics_armed,
+        crashes = chaos.crashes_armed,
+        transients = chaos.transients_armed,
+        violations = chaos.violations.len(),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_faults.json", &json).expect("writes BENCH_faults.json");
+    eprintln!("\nwrote BENCH_faults.json (repair beats recompute, chaos clean)");
+}

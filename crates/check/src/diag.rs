@@ -2,8 +2,10 @@
 //!
 //! Codes are grouped by pass: `MD00x` front end, `MD01x` name resolution,
 //! `MD02x` join-graph well-formedness, `MD03x` aggregate classification and
-//! exposure, `MD04x`/`MD05x` plan-audit lints. Codes are append-only: a
-//! published code never changes meaning, so scripts may match on them.
+//! exposure, `MD04x`/`MD05x` plan-audit lints, `MD06x` scheduler-ordering
+//! checks, `MD07x` fault-domain configuration checks. Codes are
+//! append-only: a published code never changes meaning, so scripts may
+//! match on them.
 
 use md_sql::Span;
 
@@ -88,11 +90,23 @@ pub enum Code {
     Md062,
     /// Prepared engine neither committed nor rolled back by batch end.
     Md063,
+    /// Auto-repair enabled on a summary whose root auxiliary view was
+    /// eliminated — the reconstruction query cannot rebuild it.
+    Md070,
+    /// Quarantine enabled but the retry policy gives transient I/O
+    /// faults a single attempt.
+    Md071,
+    /// Dead-letter store capacity is zero: every escalated batch is
+    /// dropped un-inspected.
+    Md072,
+    /// Quarantine enabled without a change log: queued deltas of a
+    /// quarantined summary are not durable.
+    Md073,
 }
 
 impl Code {
     /// Every code the analyzer can emit, in ascending order.
-    pub const ALL: [Code; 26] = [
+    pub const ALL: [Code; 30] = [
         Code::Md001,
         Code::Md002,
         Code::Md010,
@@ -119,6 +133,10 @@ impl Code {
         Code::Md061,
         Code::Md062,
         Code::Md063,
+        Code::Md070,
+        Code::Md071,
+        Code::Md072,
+        Code::Md073,
     ];
 
     /// The stable code string, e.g. `"MD020"`.
@@ -150,6 +168,10 @@ impl Code {
             Code::Md061 => "MD061",
             Code::Md062 => "MD062",
             Code::Md063 => "MD063",
+            Code::Md070 => "MD070",
+            Code::Md071 => "MD071",
+            Code::Md072 => "MD072",
+            Code::Md073 => "MD073",
         }
     }
 
@@ -158,6 +180,14 @@ impl Code {
     /// [`SchedModel`](crate::SchedModel) rather than by the SQL passes.
     pub fn is_schedule(self) -> bool {
         matches!(self, Code::Md060 | Code::Md061 | Code::Md062 | Code::Md063)
+    }
+
+    /// `true` for the fault-domain codes (`MD070`–`MD073`), which are
+    /// emitted by [`check_fault_domains`](crate::check_fault_domains)
+    /// over a [`FaultDomainModel`](crate::FaultDomainModel) rather than
+    /// by the SQL passes.
+    pub fn is_fault_domain(self) -> bool {
+        matches!(self, Code::Md070 | Code::Md071 | Code::Md072 | Code::Md073)
     }
 
     /// The fixed severity of the code.
@@ -179,10 +209,17 @@ impl Code {
             | Code::Md024
             | Code::Md060
             | Code::Md061
-            | Code::Md062 => Severity::Error,
-            Code::Md030 | Code::Md031 | Code::Md032 | Code::Md033 | Code::Md034 | Code::Md063 => {
-                Severity::Warning
-            }
+            | Code::Md062
+            | Code::Md070 => Severity::Error,
+            Code::Md030
+            | Code::Md031
+            | Code::Md032
+            | Code::Md033
+            | Code::Md034
+            | Code::Md063
+            | Code::Md071
+            | Code::Md072
+            | Code::Md073 => Severity::Warning,
             Code::Md040 | Code::Md041 | Code::Md050 => Severity::Note,
         }
     }
@@ -216,6 +253,10 @@ impl Code {
             Code::Md061 => "per-table WAL LSN regression",
             Code::Md062 => "cross-summary lock-order inversion",
             Code::Md063 => "prepared engine leaked past batch end",
+            Code::Md070 => "auto-repair cannot rebuild a root-omitted summary",
+            Code::Md071 => "quarantine with a single-attempt retry policy",
+            Code::Md072 => "zero-capacity dead-letter store",
+            Code::Md073 => "quarantine without a durable change log",
         }
     }
 }

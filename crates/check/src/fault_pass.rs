@@ -1,0 +1,179 @@
+//! The `MD07x` fault-domain pass: static checks over a warehouse's
+//! fault-isolation configuration.
+//!
+//! Like the `MD06x` scheduler pass, this pass does not parse SQL — it
+//! checks an abstract [`FaultDomainModel`] that the warehouse describes
+//! itself into (`Warehouse::fault_domain_model`). The checks catch
+//! configurations whose failure paths cannot work *before* any fault
+//! happens: auto-repair on a summary that cannot be rebuilt from its
+//! auxiliary views, quarantine whose queued deltas would not survive a
+//! crash, retry/dead-letter settings that defeat their purpose.
+
+use crate::diag::{CheckReport, Code, Diagnostic};
+
+/// One summary view as the fault-domain pass sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultDomainSummary {
+    /// The summary view's name.
+    pub name: String,
+    /// Whether Algorithm 3.2 eliminated the root auxiliary view. A
+    /// root-omitted summary has no reconstruction query: repair can only
+    /// remap dimension-derived state, not rebuild root aggregates.
+    pub root_omitted: bool,
+}
+
+/// An abstract description of a warehouse's fault-isolation
+/// configuration, checked by [`check_fault_domains`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultDomainModel {
+    /// Whether the durable change log is enabled.
+    pub wal_enabled: bool,
+    /// Whether per-summary quarantine is enabled.
+    pub quarantine: bool,
+    /// Whether quarantined summaries are repaired automatically after
+    /// each batch.
+    pub auto_repair: bool,
+    /// Total attempts (initial + retries) the I/O retry policy allows.
+    pub retry_attempts: u32,
+    /// Dead-letter store capacity; `None` means unbounded.
+    pub dead_letter_capacity: Option<usize>,
+    /// The registered summaries.
+    pub summaries: Vec<FaultDomainSummary>,
+}
+
+/// Runs the `MD07x` fault-domain checks over `model`.
+pub fn check_fault_domains(model: &FaultDomainModel) -> CheckReport {
+    let mut report = CheckReport::new("<fault-domains>", None);
+
+    if model.auto_repair {
+        for s in &model.summaries {
+            if s.root_omitted {
+                report.push(
+                    Diagnostic::new(
+                        Code::Md070,
+                        format!(
+                            "auto-repair is enabled, but summary '{}' omitted its root \
+                             auxiliary view — the reconstruction query cannot rebuild it",
+                            s.name
+                        ),
+                    )
+                    .with_help(
+                        "register the view under a contract that materializes the root \
+                         auxiliary view, or repair it manually from a source recompute",
+                    )
+                    .with_note(
+                        "root-omitted repair can only remap dimension-derived state; \
+                         root-sourced aggregate damage is unrecoverable without sources",
+                    ),
+                );
+            }
+        }
+    }
+
+    if model.quarantine && model.retry_attempts <= 1 {
+        report.push(
+            Diagnostic::new(
+                Code::Md071,
+                "quarantine is enabled but the retry policy allows a single attempt — \
+                 every transient I/O fault escalates immediately",
+            )
+            .with_help("allow at least one retry so heal-on-retry faults (torn writes) clear"),
+        );
+    }
+
+    if model.dead_letter_capacity == Some(0) {
+        report.push(
+            Diagnostic::new(
+                Code::Md072,
+                "dead-letter store capacity is 0: every escalated batch is dropped \
+                 before an operator can inspect it",
+            )
+            .with_help("use a small positive capacity, or leave the store unbounded"),
+        );
+    }
+
+    if model.quarantine && !model.wal_enabled {
+        report.push(
+            Diagnostic::new(
+                Code::Md073,
+                "quarantine is enabled without the change log — deltas queued for a \
+                 quarantined summary do not survive a crash",
+            )
+            .with_help("enable the WAL so queued deltas replay from the log on recovery"),
+        );
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy_model() -> FaultDomainModel {
+        FaultDomainModel {
+            wal_enabled: true,
+            quarantine: true,
+            auto_repair: true,
+            retry_attempts: 4,
+            dead_letter_capacity: None,
+            summaries: vec![FaultDomainSummary {
+                name: "product_sales".into(),
+                root_omitted: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn healthy_configuration_is_clean() {
+        assert!(check_fault_domains(&healthy_model()).is_clean());
+    }
+
+    #[test]
+    fn md070_flags_auto_repair_on_root_omitted_summary() {
+        let mut m = healthy_model();
+        m.summaries.push(FaultDomainSummary {
+            name: "daily_product".into(),
+            root_omitted: true,
+        });
+        let report = check_fault_domains(&m);
+        assert!(report.has_errors());
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code, Code::Md070);
+        assert!(d.message.contains("daily_product"));
+
+        // Without auto-repair the same summary is fine: manual repair
+        // paths are the operator's call.
+        m.auto_repair = false;
+        assert!(check_fault_domains(&m).is_clean());
+    }
+
+    #[test]
+    fn md071_flags_single_attempt_retry_under_quarantine() {
+        let mut m = healthy_model();
+        m.retry_attempts = 1;
+        let report = check_fault_domains(&m);
+        assert_eq!(report.diagnostics()[0].code, Code::Md071);
+        m.quarantine = false;
+        m.auto_repair = false;
+        assert!(check_fault_domains(&m).is_clean());
+    }
+
+    #[test]
+    fn md072_flags_zero_capacity_dead_letters() {
+        let mut m = healthy_model();
+        m.dead_letter_capacity = Some(0);
+        let report = check_fault_domains(&m);
+        assert_eq!(report.diagnostics()[0].code, Code::Md072);
+        m.dead_letter_capacity = Some(16);
+        assert!(check_fault_domains(&m).is_clean());
+    }
+
+    #[test]
+    fn md073_flags_quarantine_without_wal() {
+        let mut m = healthy_model();
+        m.wal_enabled = false;
+        let report = check_fault_domains(&m);
+        assert_eq!(report.diagnostics()[0].code, Code::Md073);
+    }
+}

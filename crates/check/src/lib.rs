@@ -25,6 +25,10 @@
 //!    [`check_schedule`], over abstract [`SchedModel`]s of the batch
 //!    scheduler: commit-before-append, WAL LSN regressions, lock-order
 //!    inversions, leaked prepared transactions.
+//! 8. **Fault domains** (`MD070`–`MD073`) — a separate entry point,
+//!    [`check_fault_domains`], over a warehouse's [`FaultDomainModel`]:
+//!    auto-repair on unrebuildable summaries, quarantine without a
+//!    durable log, self-defeating retry/dead-letter settings.
 //!
 //! ```
 //! use md_check::check_sql;
@@ -49,6 +53,7 @@
 mod agg_pass;
 mod diag;
 mod exposure_pass;
+mod fault_pass;
 mod graph_pass;
 mod json;
 mod plan_pass;
@@ -57,6 +62,7 @@ mod resolve_pass;
 mod sched_pass;
 
 pub use diag::{CheckReport, Code, Diagnostic, Severity};
+pub use fault_pass::{check_fault_domains, FaultDomainModel, FaultDomainSummary};
 pub use md_sql::Span;
 pub use sched_pass::{check_schedule, SchedModel, SchedModelOp, SchedStep};
 

@@ -600,7 +600,10 @@ impl MaintenanceEngine {
     pub fn apply(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
         let lsn = self.applied_lsn(table) + 1;
         self.apply_prepared(table, changes)?;
-        match self.faults.hit("engine.apply.commit") {
+        match self
+            .faults
+            .hit_scoped("engine.apply.commit", &self.plan.view.name)
+        {
             Ok(()) => {
                 self.commit_prepared(table, lsn);
                 Ok(())
@@ -687,7 +690,8 @@ impl MaintenanceEngine {
     }
 
     fn prepare_groups_body(&mut self, groups: &[(TableId, &[Change])]) -> Result<()> {
-        self.faults.hit("engine.apply.begin")?;
+        self.faults
+            .hit_scoped("engine.apply.begin", &self.plan.view.name)?;
         for (table, changes) in groups {
             if *table == self.plan.graph.root() {
                 self.apply_root_changes(*table, changes)?;
@@ -814,7 +818,8 @@ impl MaintenanceEngine {
     fn apply_root_changes(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
         for (i, change) in changes.iter().enumerate() {
             let applied = (|| -> Result<()> {
-                self.faults.hit("engine.apply.change")?;
+                self.faults
+                    .hit_scoped("engine.apply.change", &self.plan.view.name)?;
                 let (del, ins) = change.as_delete_insert();
                 if let Some(row) = del {
                     self.process_root_row(row, -1)?;
@@ -826,7 +831,8 @@ impl MaintenanceEngine {
             })();
             applied.map_err(|e| self.reject(table, Some(i), e))?;
         }
-        self.faults.hit("engine.apply.flush")?;
+        self.faults
+            .hit_scoped("engine.apply.flush", &self.plan.view.name)?;
         self.flush_dirty_groups()?;
         Ok(())
     }
@@ -1291,7 +1297,8 @@ impl MaintenanceEngine {
         }
 
         if needs_repair {
-            self.faults.hit("engine.apply.flush")?;
+            self.faults
+                .hit_scoped("engine.apply.flush", &self.plan.view.name)?;
             self.repair_summary()?;
         }
         Ok(())
@@ -1305,7 +1312,8 @@ impl MaintenanceEngine {
         is_dependency: bool,
         needs_repair: &mut bool,
     ) -> Result<()> {
-        self.faults.hit("engine.apply.change")?;
+        self.faults
+            .hit_scoped("engine.apply.change", &self.plan.view.name)?;
         {
             self.counters.rows_processed.incr();
             match change {
@@ -1364,6 +1372,24 @@ impl MaintenanceEngine {
             }
         }
         Ok(())
+    }
+
+    /// Rebuilds the summary view from the auxiliary views alone — the
+    /// paper's reconstruction query (or the root-omitted group remap) run
+    /// as a standalone repair, e.g. to bring a quarantined engine back
+    /// from an arbitrary failed-prepare state. Any open transaction is
+    /// rolled back first (restoring consistent aux views), then `V` is
+    /// rebuilt from `X`. The committed LSN vector is left untouched so
+    /// queued deltas can be replayed idempotently afterwards. Returns the
+    /// number of summary rows after the rebuild.
+    pub fn rebuild_summary(&mut self) -> Result<u64> {
+        self.rollback_txn();
+        let _span = self
+            .obs
+            .span("maintain.rebuild")
+            .field("summary", self.plan.view.name.as_str());
+        self.repair_summary()?;
+        Ok(self.summary.iter().count() as u64)
     }
 
     /// Repairs `V` after dimension changes that may have reshaped existing

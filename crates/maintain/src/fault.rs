@@ -1,27 +1,110 @@
-//! Fault injection for crash-safety testing.
+//! Fault injection for crash-safety and fault-domain testing.
 //!
 //! A [`FaultPlan`] is a cheap, cloneable handle that maintenance code
 //! threads through its commit paths. Production code constructs the
 //! default (disarmed) plan, in which every [`FaultPlan::hit`] is a no-op;
 //! tests arm a named injection point so that the nth time execution
-//! reaches it, a [`MaintainError::Injected`] is returned — simulating a
-//! crash at exactly that moment. The surrounding transaction machinery
-//! must then roll back (or leave a recoverable torn state), which the
-//! fault-injection tests verify against a recompute-from-scratch oracle.
+//! reaches it, a fault fires — simulating a failure at exactly that
+//! moment. Three fault shapes are supported:
+//!
+//! - **crash** ([`FaultPlan::arm`]): fires [`MaintainError::Injected`]
+//!   once, then disarms. Models a hard stop; never retried.
+//! - **panic** ([`FaultPlan::arm_panic`]): panics at the point, modelling
+//!   a worker dying mid-prepare. The scheduler catches it at the task
+//!   boundary and treats it as a quarantine-worthy engine failure.
+//! - **transient I/O** ([`FaultPlan::arm_transient`]): fires
+//!   [`MaintainError::Io`] with an [`IoFaultKind`] for a bounded number
+//!   of consecutive traversals, then *heals* — the next traversal
+//!   succeeds. This is what retry policies are tested against.
+//!
+//! Points have plain names (`warehouse.wal.append`); engine-level points
+//! are additionally checked under a `point@scope` name (scope = summary
+//! view name) via [`FaultPlan::hit_scoped`], so a test can target one
+//! summary's engine deterministically regardless of which worker thread
+//! it lands on.
 
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use crate::error::{MaintainError, Result};
 
+/// The kind of transient I/O failure an armed point produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// `fsync` returned an error; the write may or may not be durable.
+    Fsync,
+    /// A short or failed write.
+    Write,
+    /// A read error (e.g. during snapshot load).
+    Read,
+    /// The device is out of space. **Not retryable** — backing off does
+    /// not create free space, so retry policies escalate immediately.
+    DiskFull,
+    /// A torn (partial) write reached the medium. Retryable: the WAL's
+    /// CRC framing detects the torn tail and the retried append truncates
+    /// it before writing, so the fault heals.
+    Torn,
+}
+
+impl IoFaultKind {
+    /// Whether a bounded-backoff retry can plausibly clear this fault.
+    pub fn retryable(self) -> bool {
+        !matches!(self, IoFaultKind::DiskFull)
+    }
+
+    /// Stable lower-case label, used in error text and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoFaultKind::Fsync => "fsync",
+            IoFaultKind::Write => "write",
+            IoFaultKind::Read => "read",
+            IoFaultKind::DiskFull => "disk-full",
+            IoFaultKind::Torn => "torn-write",
+        }
+    }
+}
+
+impl fmt::Display for IoFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What an armed point does when its countdown elapses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FaultKind {
+    /// Hard crash: `MaintainError::Injected`, fires once.
+    Crash,
+    /// Panics at the point, fires once.
+    Panic,
+    /// Transient I/O error: fires for `remaining` consecutive
+    /// traversals, then heals (the arm entry is removed).
+    Io { kind: IoFaultKind, remaining: u64 },
+}
+
+/// What a traversal of an armed point produced, resolved while the
+/// plan's lock is held; panics are raised only after it is released.
+enum Fired {
+    None,
+    Error(MaintainError),
+    Panic(String),
+}
+
+#[derive(Debug)]
+struct Armed {
+    point: String,
+    /// Traversals to let through before firing (0 = fire on next).
+    after: u64,
+    kind: FaultKind,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
-    /// Armed points: `(point, remaining_passes)`. When a `hit` on `point`
-    /// finds `remaining_passes == 0` the fault fires; otherwise the
-    /// counter decrements and execution proceeds.
-    armed: Vec<(String, u64)>,
+    armed: Vec<Armed>,
     /// Every point name that `hit` has been called with, in order —
     /// lets tests enumerate the injection points a scenario traverses.
+    /// Scoped hits record the *generic* name so the traversal log stays
+    /// stable across view renames.
     seen: Vec<String>,
 }
 
@@ -54,10 +137,7 @@ impl FaultPlan {
         }
     }
 
-    /// Arms `point` so that the `nth` traversal (0-based) fails with
-    /// [`MaintainError::Injected`]. Arming the same point again queues an
-    /// additional firing.
-    pub fn arm(&mut self, point: &str, nth: u64) {
+    fn push(&mut self, point: &str, after: u64, kind: FaultKind) {
         let inner = self
             .inner
             .get_or_insert_with(|| Arc::new(Mutex::new(Inner::default())));
@@ -65,32 +145,128 @@ impl FaultPlan {
             .lock()
             .expect("fault plan poisoned")
             .armed
-            .push((point.to_string(), nth));
+            .push(Armed {
+                point: point.to_string(),
+                after,
+                kind,
+            });
     }
 
-    /// An injection point. Returns `Err(MaintainError::Injected)` if the
-    /// point is armed and its countdown has elapsed; records the traversal
-    /// and returns `Ok(())` otherwise.
-    pub fn hit(&self, point: &str) -> Result<()> {
+    /// Arms `point` so that the `nth` traversal (0-based) fails with
+    /// [`MaintainError::Injected`]. Arming the same point again queues an
+    /// additional firing.
+    pub fn arm(&mut self, point: &str, nth: u64) {
+        self.push(point, nth, FaultKind::Crash);
+    }
+
+    /// Arms `point` so that the `nth` traversal (0-based) panics,
+    /// modelling a worker thread dying mid-operation.
+    pub fn arm_panic(&mut self, point: &str, nth: u64) {
+        self.push(point, nth, FaultKind::Panic);
+    }
+
+    /// Arms `point` so that, starting at the `nth` traversal (0-based),
+    /// the next `times` traversals fail with [`MaintainError::Io`] of the
+    /// given kind, after which the fault heals and traversals succeed.
+    pub fn arm_transient(&mut self, point: &str, nth: u64, kind: IoFaultKind, times: u64) {
+        if times == 0 {
+            return;
+        }
+        self.push(
+            point,
+            nth,
+            FaultKind::Io {
+                kind,
+                remaining: times,
+            },
+        );
+    }
+
+    fn fire(inner: &mut Inner, pos: usize, fired_as: &str) -> Fired {
+        match &mut inner.armed[pos].kind {
+            FaultKind::Crash => {
+                inner.armed.remove(pos);
+                Fired::Error(MaintainError::Injected {
+                    point: fired_as.to_string(),
+                })
+            }
+            FaultKind::Panic => {
+                inner.armed.remove(pos);
+                // The caller panics *after* releasing the plan's lock, so
+                // the plan stays usable once the panic is caught.
+                Fired::Panic(format!("injected panic at fault point '{fired_as}'"))
+            }
+            FaultKind::Io { kind, remaining } => {
+                let kind = *kind;
+                *remaining -= 1;
+                let healed = *remaining == 0;
+                if healed {
+                    inner.armed.remove(pos);
+                }
+                Fired::Error(MaintainError::Io {
+                    point: fired_as.to_string(),
+                    kind,
+                })
+            }
+        }
+    }
+
+    fn hit_inner(&self, point: &str, scope: Option<&str>) -> Result<()> {
         let Some(inner) = &self.inner else {
             return Ok(());
         };
-        let mut inner = inner.lock().expect("fault plan poisoned");
-        inner.seen.push(point.to_string());
-        let Some(pos) = inner.armed.iter().position(|(p, _)| p == point) else {
-            return Ok(());
-        };
-        if inner.armed[pos].1 == 0 {
-            inner.armed.remove(pos);
-            return Err(MaintainError::Injected {
-                point: point.to_string(),
+        let fired = {
+            let mut inner = inner.lock().expect("fault plan poisoned");
+            inner.seen.push(point.to_string());
+            // A scoped arm (`point@scope`) takes precedence over a
+            // generic one.
+            let scoped_fired = scope.and_then(|scope| {
+                let scoped = format!("{point}@{scope}");
+                let pos = inner.armed.iter().position(|a| a.point == scoped)?;
+                if inner.armed[pos].after == 0 {
+                    Some(Self::fire(&mut inner, pos, &scoped))
+                } else {
+                    inner.armed[pos].after -= 1;
+                    Some(Fired::None)
+                }
             });
+            match scoped_fired {
+                Some(fired) => fired,
+                None => match inner.armed.iter().position(|a| a.point == point) {
+                    None => Fired::None,
+                    Some(pos) => {
+                        if inner.armed[pos].after == 0 {
+                            Self::fire(&mut inner, pos, point)
+                        } else {
+                            inner.armed[pos].after -= 1;
+                            Fired::None
+                        }
+                    }
+                },
+            }
+        };
+        match fired {
+            Fired::None => Ok(()),
+            Fired::Error(e) => Err(e),
+            Fired::Panic(message) => panic!("{message}"),
         }
-        inner.armed[pos].1 -= 1;
-        Ok(())
     }
 
-    /// Whether `point` fires (returns an error) on its next traversal.
+    /// An injection point. Fires if the point is armed and its countdown
+    /// has elapsed; records the traversal and returns `Ok(())` otherwise.
+    pub fn hit(&self, point: &str) -> Result<()> {
+        self.hit_inner(point, None)
+    }
+
+    /// An injection point that also answers to `point@scope` — used by
+    /// per-summary engines so tests can target one engine regardless of
+    /// worker placement. The traversal log records the generic `point`.
+    pub fn hit_scoped(&self, point: &str, scope: &str) -> Result<()> {
+        self.hit_inner(point, Some(scope))
+    }
+
+    /// Whether `point` fires (returns an error or panics) on its next
+    /// traversal.
     pub fn is_armed(&self, point: &str) -> bool {
         match &self.inner {
             None => false,
@@ -99,7 +275,7 @@ impl FaultPlan {
                 .expect("fault plan poisoned")
                 .armed
                 .iter()
-                .any(|(p, _)| p == point),
+                .any(|a| a.point == point),
         }
     }
 
@@ -182,5 +358,70 @@ mod tests {
             plan.points_seen(),
             vec!["a".to_string(), "b".to_string(), "c".to_string()]
         );
+    }
+
+    #[test]
+    fn transient_fault_fires_then_heals() {
+        let mut plan = FaultPlan::default();
+        plan.arm_transient("wal", 1, IoFaultKind::Write, 2);
+        assert!(plan.hit("wal").is_ok()); // countdown
+        for _ in 0..2 {
+            match plan.hit("wal") {
+                Err(MaintainError::Io { point, kind }) => {
+                    assert_eq!(point, "wal");
+                    assert_eq!(kind, IoFaultKind::Write);
+                }
+                other => panic!("expected transient Io fault, got {other:?}"),
+            }
+        }
+        // Healed: subsequent traversals succeed and the arm is gone.
+        assert!(plan.hit("wal").is_ok());
+        assert!(!plan.is_armed("wal"));
+    }
+
+    #[test]
+    fn disk_full_is_not_retryable() {
+        assert!(!IoFaultKind::DiskFull.retryable());
+        for k in [
+            IoFaultKind::Fsync,
+            IoFaultKind::Write,
+            IoFaultKind::Read,
+            IoFaultKind::Torn,
+        ] {
+            assert!(k.retryable(), "{k} should be retryable");
+        }
+    }
+
+    #[test]
+    fn scoped_arm_only_hits_matching_scope() {
+        let mut plan = FaultPlan::recording();
+        plan.arm("apply@sales", 0);
+        // A different scope sails through.
+        assert!(plan.hit_scoped("apply", "revenue").is_ok());
+        // The matching scope fires, reporting the scoped name.
+        let err = plan.hit_scoped("apply", "sales").unwrap_err();
+        assert_eq!(
+            err,
+            MaintainError::Injected {
+                point: "apply@sales".into()
+            }
+        );
+        // Traversal log records the generic point name only.
+        assert_eq!(plan.points_seen(), vec!["apply".to_string()]);
+    }
+
+    #[test]
+    fn generic_arm_still_fires_through_scoped_hit() {
+        let mut plan = FaultPlan::default();
+        plan.arm("apply", 0);
+        assert!(plan.hit_scoped("apply", "sales").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic at fault point 'boom'")]
+    fn armed_panic_panics() {
+        let mut plan = FaultPlan::default();
+        plan.arm_panic("boom", 0);
+        let _ = plan.hit("boom");
     }
 }

@@ -30,6 +30,7 @@ pub mod fault;
 pub mod psj;
 pub mod reconstruct;
 pub mod resolve;
+pub mod retry;
 pub mod snapshot;
 pub mod store;
 pub mod summary;
@@ -39,10 +40,11 @@ pub use batch::{coalesce_changes, ChangeBatch};
 pub use engine::{AuditReport, MaintStats, MaintenanceEngine, StorageLine};
 pub use error::{MaintainError, Result};
 pub use exec::{Executor, SchedEvent, SchedOp, Task, ThreadExecutor, COORDINATOR};
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, IoFaultKind};
 pub use psj::{derive_psj, load_psj_stores, psj_totals};
 pub use reconstruct::{GroupIndex, ReconExecutor};
 pub use resolve::{resolve_from, Binding, Resolution};
+pub use retry::RetryPolicy;
 pub use snapshot::{plan_fingerprint, ENGINE_MAGIC, SNAPSHOT_VERSION};
 pub use store::{AuxGroupState, AuxStore, GroupEffect};
 pub use summary::{AggState, ApplyOutcome, GroupState, SummaryStore};

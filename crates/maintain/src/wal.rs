@@ -137,6 +137,9 @@ impl Wal {
     /// [`Self::append`] would write — simulating a crash mid-write. Used
     /// by fault injection; recovery must treat the tail as absent.
     pub fn append_torn(&mut self, table: TableId, lsn: u64, changes: &[Change]) {
+        // Drop any previous torn tail first, so repeated torn writes (a
+        // transient fault firing on consecutive retries) stay one tear.
+        self.bytes.truncate(self.last_good);
         let before = self.bytes.len();
         self.append(table, lsn, changes);
         let frame_len = self.bytes.len() - before;

@@ -1,0 +1,427 @@
+//! Seeded chaos exploration: randomized fault storms against the
+//! fault-domain isolation machinery.
+//!
+//! Where the [`Explorer`](crate::Explorer) enumerates *interleavings* of
+//! one fixed workload, chaos varies the **faults**: for every seed it
+//! generates a retail workload plus a storm of 1–3 injected faults —
+//! transient I/O errors on the change-log append and snapshot save,
+//! mid-prepare panics and crashes pinned to individual summary engines —
+//! and runs the warehouse under quarantine + auto-repair + retry at each
+//! configured worker count, on the production thread executor. Every run
+//! is checked against five invariants:
+//!
+//! 1. no batch is rejected (quarantine absorbs engine failures, retry
+//!    absorbs transient I/O),
+//! 2. every summary audits clean at the end (source-free `V == recon(X)`),
+//! 3. the quarantine set drains: after the final `repair_all` no summary
+//!    is left isolated,
+//! 4. the change log's LSNs are strictly increasing per table, and
+//! 5. the final state — snapshot image, change log, dead letters, apply
+//!    errors — is **byte-identical** to the same storm replayed
+//!    sequentially on one worker.
+//!
+//! Faults are armed through [`PlannedFault`] on a fresh plan per run, and
+//! engine-level faults use scoped points (`point@summary`), so a storm is
+//! deterministic under any thread timing — which is exactly what makes
+//! invariant 5 checkable.
+
+use md_maintain::wal::Wal;
+use md_maintain::IoFaultKind;
+use md_warehouse::Warehouse;
+
+use crate::scenario::{retail_scenario, PlannedFault, Scenario, SnapshotScenario};
+
+/// Chaos exploration knobs.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Number of distinct fault storms (one workload + storm per seed).
+    pub seeds: u64,
+    /// First seed; storms use `start_seed..start_seed + seeds`.
+    pub start_seed: u64,
+    /// Worker counts each storm runs under (the sequential oracle at
+    /// `workers = 1` is always run in addition).
+    pub workers: Vec<usize>,
+    /// Batches per workload.
+    pub batches: usize,
+    /// Seeded sale changes per batch.
+    pub changes_per_batch: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seeds: 64,
+            start_seed: 0xC4A0_5000,
+            workers: vec![2, 4],
+            batches: 3,
+            changes_per_batch: 6,
+        }
+    }
+}
+
+/// What a chaos exploration covered and found.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Storms generated (= seeds).
+    pub seeds: u64,
+    /// Warehouse runs executed (storms × worker counts, + oracles).
+    pub runs: u64,
+    /// Total faults armed across all storms.
+    pub faults_armed: u64,
+    /// Mid-prepare panics among them.
+    pub panics_armed: u64,
+    /// Hard-crash injections among them.
+    pub crashes_armed: u64,
+    /// Transient I/O faults among them.
+    pub transients_armed: u64,
+    /// Every invariant violation, with the seed and worker count that
+    /// reproduce it.
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// `true` when no storm violated any invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "chaos: {} storms, {} runs, {} faults armed \
+             ({} panics, {} crashes, {} transient) — {}",
+            self.seeds,
+            self.runs,
+            self.faults_armed,
+            self.panics_armed,
+            self.crashes_armed,
+            self.transients_armed,
+            if self.is_clean() {
+                "no violations".to_owned()
+            } else {
+                format!("{} VIOLATIONS", self.violations.len())
+            }
+        )
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for
+/// injected fault-point panics and delegates everything else to the
+/// previously installed hook. A chaos exploration fires hundreds of
+/// injected panics that are all caught at the task boundary; without
+/// this, each one would spray a backtrace over the output.
+pub fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected panic at fault point"));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// xorshift64*: a tiny seeded stream for storm generation. Not
+/// statistical-grade, but every draw is reproducible from the seed.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        // splitmix the seed so consecutive seeds give unrelated streams.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        XorShift((z ^ (z >> 31)) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// The six summaries of the retail race workload, targets for
+/// engine-scoped faults.
+const STORM_VIEWS: [&str; 6] = [
+    "product_sales",
+    "product_sales_max",
+    "store_revenue",
+    "daily_product",
+    "monthly_volume",
+    "country_revenue",
+];
+
+/// Generates one storm: 1–3 faults drawn from the seeded stream. Every
+/// fault targets a distinct point — stacked transients on one point
+/// could outlast the retry budget, and a panic stacked on a crash at one
+/// engine could fire the leftover during repair replay, outside the
+/// scheduler's catch. Panics always fire on the engine's first
+/// traversal, i.e. during the prepare fan-out, where they are caught.
+fn storm_for(seed: u64, batches: usize) -> Vec<PlannedFault> {
+    let mut rng = XorShift::new(seed);
+    let mut views: Vec<&str> = STORM_VIEWS.to_vec();
+    let mut faults = Vec::new();
+    let (mut wal_used, mut save_used) = (false, false);
+    let n = 1 + rng.below(3);
+    for _ in 0..n {
+        match rng.below(4) {
+            0 if !wal_used => {
+                wal_used = true;
+                // Transient failure of the change-log append, possibly a
+                // torn write the retried append must truncate away.
+                let kind = [IoFaultKind::Fsync, IoFaultKind::Write, IoFaultKind::Torn]
+                    [rng.below(3) as usize];
+                faults.push(PlannedFault::Transient {
+                    point: "warehouse.wal.append".into(),
+                    nth: rng.below(batches.max(1) as u64),
+                    kind,
+                    times: 1 + rng.below(2),
+                });
+            }
+            1 if !save_used => {
+                save_used = true;
+                // Transient failure of the snapshot save.
+                let kind = [IoFaultKind::Fsync, IoFaultKind::Write][rng.below(2) as usize];
+                faults.push(PlannedFault::Transient {
+                    point: "warehouse.save".into(),
+                    nth: 0,
+                    kind,
+                    times: 1 + rng.below(2),
+                });
+            }
+            0 | 1 => continue,
+            _ => {
+                // A summary engine failing mid-prepare: panic, crash, or
+                // a short transient run of apply errors.
+                if views.is_empty() {
+                    continue;
+                }
+                let view = views.remove(rng.below(views.len() as u64) as usize);
+                let point = format!("engine.apply.change@{view}");
+                match rng.below(3) {
+                    0 => faults.push(PlannedFault::Panic { point, nth: 0 }),
+                    1 => faults.push(PlannedFault::Crash {
+                        point,
+                        nth: rng.below(2),
+                    }),
+                    _ => faults.push(PlannedFault::Transient {
+                        point,
+                        nth: rng.below(2),
+                        kind: IoFaultKind::Read,
+                        times: 1 + rng.below(2),
+                    }),
+                }
+            }
+        }
+    }
+    faults
+}
+
+/// The final observable state of one chaos run, compared byte-for-byte
+/// between worker counts.
+#[derive(PartialEq, Eq)]
+struct ChaosDigest {
+    image: Vec<u8>,
+    wal: Option<Vec<u8>>,
+    dead: Vec<String>,
+    errors: Vec<String>,
+}
+
+/// Runs one storm at one worker count and checks the local invariants
+/// (rejections, audits, drain, LSN order). Cross-run byte-identity is
+/// checked by the caller against the `workers = 1` digest.
+fn run_storm(
+    scenario: &SnapshotScenario,
+    workers: usize,
+    seed: u64,
+    violations: &mut Vec<String>,
+) -> ChaosDigest {
+    let tag = format!("seed={seed:#x} workers={workers}");
+    let mut wh = scenario.build(Warehouse::builder().workers(workers));
+    let mut errors = Vec::new();
+    for batch in scenario.batches() {
+        if let Err(e) = wh.apply_batch(batch) {
+            errors.push(e.to_string());
+        }
+    }
+    for (name, result) in wh.repair_all() {
+        if let Err(e) = result {
+            violations.push(format!("{tag}: repair of '{name}' failed: {e}"));
+        }
+    }
+
+    // 1. Quarantine + retry absorb every storm fault: no rejections.
+    for e in &errors {
+        violations.push(format!("{tag}: batch rejected: {e}"));
+    }
+    // 2. Every summary audits clean.
+    for (name, report) in wh.audit() {
+        if !report.is_clean() {
+            violations.push(format!("{tag}: audit of '{name}' failed: {report:?}"));
+        }
+    }
+    // 3. The quarantine set drains.
+    let stuck: Vec<&str> = wh.quarantined().map(|(n, _)| n).collect();
+    if !stuck.is_empty() {
+        violations.push(format!("{tag}: quarantine not drained: {stuck:?}"));
+    }
+    // 4. Per-table LSN monotonicity over the surviving change log.
+    if let Some(bytes) = wh.wal_bytes() {
+        match Wal::replay(bytes) {
+            Err(e) => violations.push(format!("{tag}: change log does not replay: {e}")),
+            Ok((records, _)) => {
+                let mut last: std::collections::BTreeMap<usize, u64> = Default::default();
+                for r in &records {
+                    if let Some(prev) = last.get(&r.table.0) {
+                        if r.lsn <= *prev {
+                            violations.push(format!(
+                                "{tag}: WAL LSN regression on table {}: {} after {}",
+                                r.table.0, r.lsn, prev
+                            ));
+                        }
+                    }
+                    last.insert(r.table.0, r.lsn);
+                }
+            }
+        }
+    }
+
+    ChaosDigest {
+        image: wh.save().expect("chaos warehouse snapshot serializes"),
+        wal: wh.wal_bytes().map(<[u8]>::to_vec),
+        dead: wh
+            .dead_letters()
+            .iter()
+            .map(|l| {
+                format!(
+                    "table={} lsn={} changes={} reason={}",
+                    l.table.0,
+                    l.lsn,
+                    l.changes.len(),
+                    l.reason
+                )
+            })
+            .collect(),
+        errors,
+    }
+}
+
+/// Runs the full chaos exploration: for every seed, one storm replayed
+/// at every configured worker count plus the sequential oracle, with all
+/// invariants checked.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    silence_injected_panics();
+    let mut report = ChaosReport {
+        seeds: cfg.seeds,
+        ..ChaosReport::default()
+    };
+    for i in 0..cfg.seeds {
+        let seed = cfg.start_seed.wrapping_add(i);
+        let storm = storm_for(seed, cfg.batches);
+        report.faults_armed += storm.len() as u64;
+        for fault in &storm {
+            match fault {
+                PlannedFault::Panic { .. } => report.panics_armed += 1,
+                PlannedFault::Crash { .. } => report.crashes_armed += 1,
+                PlannedFault::Transient { .. } => report.transients_armed += 1,
+            }
+        }
+        let mut scenario = retail_scenario(cfg.batches, cfg.changes_per_batch, seed)
+            .renamed(format!("chaos-{seed:#x}"))
+            .with_quarantine(true);
+        for fault in &storm {
+            scenario = scenario.with_fault(fault.clone());
+        }
+
+        // The sequential baseline runs the identical storm on one worker.
+        let oracle = run_storm(&scenario, 1, seed, &mut report.violations);
+        report.runs += 1;
+        for &workers in &cfg.workers {
+            let digest = run_storm(&scenario, workers, seed, &mut report.violations);
+            report.runs += 1;
+            // 5. Byte-identity with the sequential run of the same storm.
+            if digest.image != oracle.image {
+                report.violations.push(format!(
+                    "seed={seed:#x} workers={workers}: state diverged from sequential run"
+                ));
+            }
+            if digest.wal != oracle.wal {
+                report.violations.push(format!(
+                    "seed={seed:#x} workers={workers}: change log diverged from sequential run"
+                ));
+            }
+            if digest.dead != oracle.dead {
+                report.violations.push(format!(
+                    "seed={seed:#x} workers={workers}: dead letters diverged \
+                     ({:?} vs {:?})",
+                    digest.dead, oracle.dead
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storms_are_reproducible_and_nonempty() {
+        for seed in 0..50 {
+            let a = storm_for(seed, 3);
+            let b = storm_for(seed, 3);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+            assert!(!a.is_empty() && a.len() <= 3, "seed {seed}: {a:?}");
+        }
+    }
+
+    #[test]
+    fn engine_faults_never_stack_on_one_summary() {
+        for seed in 0..200 {
+            let storm = storm_for(seed, 3);
+            let mut scoped: Vec<&str> = storm
+                .iter()
+                .map(|f| match f {
+                    PlannedFault::Crash { point, .. }
+                    | PlannedFault::Panic { point, .. }
+                    | PlannedFault::Transient { point, .. } => point.as_str(),
+                })
+                .filter(|p| p.contains('@'))
+                .collect();
+            let total = scoped.len();
+            scoped.sort_unstable();
+            scoped.dedup();
+            assert_eq!(scoped.len(), total, "seed {seed}: duplicate engine target");
+        }
+    }
+
+    #[test]
+    fn a_small_chaos_run_is_clean() {
+        let report = run_chaos(&ChaosConfig {
+            seeds: 8,
+            workers: vec![2],
+            ..ChaosConfig::default()
+        });
+        assert_eq!(report.seeds, 8);
+        assert_eq!(report.runs, 16, "8 storms × (1 oracle + 1 explored)");
+        assert!(report.faults_armed >= 8);
+        assert!(
+            report.is_clean(),
+            "{}\n{}",
+            report.summary(),
+            report.violations.join("\n")
+        );
+    }
+}

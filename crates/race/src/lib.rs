@@ -23,6 +23,13 @@
 //! * the `MD06x` static ordering pass from `md-check` over the recorded
 //!   trace.
 //!
+//! The [`chaos`] module is the explorer's complement: instead of
+//! enumerating interleavings of one fixed workload, it generates seeded
+//! **fault storms** — transient I/O errors, engine-scoped mid-prepare
+//! panics and crashes — and drives the warehouse's quarantine, repair
+//! and retry machinery under them, checking audits, drain and
+//! byte-identity with a sequential run of the identical storm.
+//!
 //! ```
 //! use md_race::{retail_scenario, Explorer, RaceConfig};
 //!
@@ -36,12 +43,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod explore;
 pub mod scenario;
 pub mod step;
 
+pub use chaos::{run_chaos, silence_injected_panics, ChaosConfig, ChaosReport};
 pub use explore::{ExploreReport, Explorer, RaceConfig, Violation};
 pub use scenario::{
-    retail_fault_scenario, retail_scenario, Scenario, SnapshotScenario, RETAIL_RACE_VIEW_COUNT,
+    retail_fault_scenario, retail_panic_scenario, retail_scenario, retail_transient_wal_scenario,
+    PlannedFault, Scenario, SnapshotScenario, RETAIL_RACE_VIEW_COUNT,
 };
 pub use step::{Decision, RunRecord, StepExecutor};

@@ -6,11 +6,62 @@
 //! under many interleavings and compares every outcome against the
 //! sequential oracle.
 
+use md_maintain::{FaultPlan, IoFaultKind, RetryPolicy};
 use md_relation::{row, Catalog, Change};
 use md_warehouse::{ChangeBatch, Warehouse, WarehouseBuilder};
 use md_workload::retail::{generate_retail, Contracts, RetailParams};
 use md_workload::updates::{product_brand_changes, sale_changes, UpdateMix};
 use md_workload::views;
+
+/// A fault the scenario arms on **every** build — the explored replay
+/// and the sequential oracle alike — so faulted runs still compare
+/// byte-for-byte against the oracle. Points may be scoped
+/// (`point@summary`) to pin a fault to one engine regardless of which
+/// worker it lands on.
+#[derive(Debug, Clone)]
+pub enum PlannedFault {
+    /// A hard stop ([`FaultPlan::arm`]): fires `Injected` once.
+    Crash {
+        /// Injection-point name, optionally `point@summary`-scoped.
+        point: String,
+        /// Traversals of the point to let through before firing.
+        nth: u64,
+    },
+    /// A worker death ([`FaultPlan::arm_panic`]): panics once.
+    Panic {
+        /// Injection-point name, optionally `point@summary`-scoped.
+        point: String,
+        /// Traversals of the point to let through before firing.
+        nth: u64,
+    },
+    /// A transient I/O failure ([`FaultPlan::arm_transient`]): fires for
+    /// `times` consecutive traversals, then heals.
+    Transient {
+        /// Injection-point name, optionally `point@summary`-scoped.
+        point: String,
+        /// Traversals of the point to let through before firing.
+        nth: u64,
+        /// What kind of I/O error the point produces.
+        kind: IoFaultKind,
+        /// Consecutive firings before the fault heals.
+        times: u64,
+    },
+}
+
+impl PlannedFault {
+    fn arm_into(&self, plan: &mut FaultPlan) {
+        match self {
+            PlannedFault::Crash { point, nth } => plan.arm(point, *nth),
+            PlannedFault::Panic { point, nth } => plan.arm_panic(point, *nth),
+            PlannedFault::Transient {
+                point,
+                nth,
+                kind,
+                times,
+            } => plan.arm_transient(point, *nth, *kind, *times),
+        }
+    }
+}
 
 /// A reproducible warehouse run for the explorer.
 pub trait Scenario {
@@ -35,6 +86,11 @@ pub struct SnapshotScenario {
     image: Vec<u8>,
     batches: Vec<ChangeBatch>,
     plant_commit_before_append: bool,
+    faults: Vec<PlannedFault>,
+    quarantine: bool,
+    auto_repair: bool,
+    retry: Option<RetryPolicy>,
+    dead_letter_capacity: Option<usize>,
 }
 
 impl SnapshotScenario {
@@ -51,6 +107,11 @@ impl SnapshotScenario {
             image,
             batches,
             plant_commit_before_append: false,
+            faults: Vec::new(),
+            quarantine: false,
+            auto_repair: false,
+            retry: None,
+            dead_letter_capacity: None,
         }
     }
 
@@ -78,6 +139,39 @@ impl SnapshotScenario {
         self.batches = batches;
         self
     }
+
+    /// Arms `fault` on every build of the scenario. Because the oracle
+    /// and every explored schedule arm an identical fresh [`FaultPlan`],
+    /// a deterministic fault keeps all runs comparable.
+    pub fn with_fault(mut self, fault: PlannedFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Enables per-summary quarantine on every build, optionally with
+    /// the auto-repair policy.
+    pub fn with_quarantine(mut self, auto_repair: bool) -> Self {
+        self.quarantine = true;
+        self.auto_repair = auto_repair;
+        self
+    }
+
+    /// Overrides the I/O retry policy on every build.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Bounds the dead-letter store on every build.
+    pub fn with_dead_letter_capacity(mut self, capacity: usize) -> Self {
+        self.dead_letter_capacity = Some(capacity);
+        self
+    }
+
+    /// The faults armed on every build.
+    pub fn faults(&self) -> &[PlannedFault] {
+        &self.faults
+    }
 }
 
 impl Scenario for SnapshotScenario {
@@ -86,11 +180,29 @@ impl Scenario for SnapshotScenario {
     }
 
     fn build(&self, builder: WarehouseBuilder) -> Warehouse {
-        let builder = if self.plant_commit_before_append {
+        let mut builder = if self.plant_commit_before_append {
             builder.plant_commit_before_append()
         } else {
             builder
         };
+        if !self.faults.is_empty() {
+            // A fresh plan per build: countdowns and one-shot arms reset,
+            // so every replay (and the oracle) sees identical faults.
+            let mut plan = FaultPlan::default();
+            for fault in &self.faults {
+                fault.arm_into(&mut plan);
+            }
+            builder = builder.fault_plan(plan);
+        }
+        builder = builder
+            .quarantine(self.quarantine)
+            .auto_repair(self.auto_repair);
+        if let Some(retry) = self.retry {
+            builder = builder.retry_policy(retry);
+        }
+        if let Some(capacity) = self.dead_letter_capacity {
+            builder = builder.dead_letter_capacity(capacity);
+        }
         builder
             .restore(&self.catalog, &self.image)
             .expect("scenario snapshot restores under any configuration")
@@ -194,4 +306,37 @@ pub fn retail_fault_scenario(seed: u64) -> SnapshotScenario {
     scenario.batches[1] = batch;
     scenario.name = "retail-poison".into();
     scenario
+}
+
+/// The retail scenario under fault-domain isolation with one worker
+/// dying mid-prepare: the `product_sales` engine panics on its first
+/// change of the first batch, gets quarantined, and auto-repair rebuilds
+/// it from its auxiliary views before the next batch. The scoped point
+/// (`@product_sales`) makes the panic land on the same engine no matter
+/// which worker thread prepares it, so every schedule — and the
+/// sequential oracle — converges to the same repaired state.
+pub fn retail_panic_scenario(seed: u64) -> SnapshotScenario {
+    retail_scenario(3, 6, seed)
+        .renamed("retail-panic")
+        .with_quarantine(true)
+        .with_fault(PlannedFault::Panic {
+            point: "engine.apply.change@product_sales".into(),
+            nth: 0,
+        })
+}
+
+/// The retail scenario with a transient torn-write storm on the change
+/// log: the second batch's WAL append fails twice (each failure leaving
+/// a torn frame behind) before healing. The default retry policy
+/// truncates the torn tail and re-appends, so the batch commits and the
+/// final log is byte-identical to a fault-free run's.
+pub fn retail_transient_wal_scenario(seed: u64) -> SnapshotScenario {
+    retail_scenario(3, 6, seed)
+        .renamed("retail-transient-wal")
+        .with_fault(PlannedFault::Transient {
+            point: "warehouse.wal.append".into(),
+            nth: 1,
+            kind: IoFaultKind::Torn,
+            times: 2,
+        })
 }

@@ -9,7 +9,8 @@
 //! update-folding (repeated repricings of the same row) produce the
 //! same final state no matter the delivery order or the interleaving.
 
-use md_race::{Explorer, RaceConfig, Scenario, SnapshotScenario};
+use md_maintain::IoFaultKind;
+use md_race::{Explorer, PlannedFault, RaceConfig, Scenario, SnapshotScenario};
 use md_relation::{Change, Value};
 use md_warehouse::{ChangeBatch, Warehouse};
 use md_workload::retail::{generate_retail, Contracts, RetailParams, RetailSchema};
@@ -207,4 +208,93 @@ fn fully_annihilating_batch_is_schedule_independent() {
     .run();
     assert!(report.is_clean(), "{}", report.summary());
     sequential_image(&scenario);
+}
+
+/// Coalescing composed with transient I/O faults: a torn WAL append that
+/// heals on retry must not resurrect annihilated insert/delete pairs.
+/// The coalesced batch is appended once after the retries — the healed
+/// log and the final state are byte-identical to a fault-free run's,
+/// under every delivery order and interleaving.
+#[test]
+fn retried_wal_append_does_not_resurrect_annihilated_pairs() {
+    let fx = fixture();
+    let groups = row_groups(&fx.hot_changes);
+    let clean = scenario_with(&fx.scenario_base, "retry-clean", &fx.schema, &groups);
+    // Two torn appends on the hot batch; the default retry policy
+    // truncates each torn tail and re-appends. Same delivery order as
+    // the fault-free run, so the logs must be byte-identical.
+    let faulted = scenario_with(&fx.scenario_base, "retry-torn", &fx.schema, &groups).with_fault(
+        PlannedFault::Transient {
+            point: "warehouse.wal.append".into(),
+            nth: 0,
+            kind: IoFaultKind::Torn,
+            times: 2,
+        },
+    );
+
+    let report = Explorer::new(
+        &faulted,
+        RaceConfig {
+            bound: 8,
+            max_schedules: 500,
+            random_schedules: 4,
+            seed: 0xA112,
+            ..RaceConfig::default()
+        },
+    )
+    .run();
+    assert!(report.exhaustive, "{}", report.summary());
+    assert!(
+        report.is_clean(),
+        "retried appends must be schedule-independent:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    let mut faulted_wh = faulted.build(Warehouse::builder().workers(1));
+    for batch in faulted.batches() {
+        faulted_wh.apply_batch(batch).expect("retries absorb tears");
+    }
+    let mut clean_wh = clean.build(Warehouse::builder().workers(1));
+    for batch in clean.batches() {
+        clean_wh
+            .apply_batch(batch)
+            .expect("hot batch applies cleanly");
+    }
+    // The healed log holds the coalesced batch exactly once — no torn
+    // tail, no resurrected transient rows.
+    assert_eq!(faulted_wh.wal_bytes(), clean_wh.wal_bytes());
+    assert_eq!(
+        faulted_wh.save().unwrap(),
+        clean_wh.save().unwrap(),
+        "state after retried appends must match the fault-free run"
+    );
+    let transient_keys: Vec<Value> = row_groups(&fx.hot_changes)
+        .iter()
+        .filter(|g| {
+            matches!(g.first(), Some(Change::Insert(_)))
+                && matches!(g.last(), Some(Change::Delete(_)))
+        })
+        .map(|g| change_key(&g[0]))
+        .collect();
+    assert_eq!(
+        transient_keys.len(),
+        2,
+        "fixture plants two transient pairs"
+    );
+    let (records, _) =
+        md_maintain::wal::Wal::replay(faulted_wh.wal_bytes().unwrap()).expect("healed log replays");
+    for record in &records {
+        for change in &record.changes {
+            assert!(
+                !transient_keys.contains(&change_key(change)),
+                "annihilated row {:?} resurrected in the logged batch",
+                change_key(change)
+            );
+        }
+    }
 }

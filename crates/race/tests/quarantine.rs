@@ -1,0 +1,158 @@
+//! Fault-domain isolation under the schedule explorer: a summary whose
+//! prepare panics is quarantined while the healthy rest of the batch
+//! commits — identically on every interleaving — and repair brings the
+//! quarantined summary back to the exact state of a warehouse that never
+//! faulted.
+
+use md_race::{
+    retail_panic_scenario, retail_scenario, retail_transient_wal_scenario, silence_injected_panics,
+    Explorer, PlannedFault, RaceConfig, Scenario, SnapshotScenario,
+};
+use md_warehouse::Warehouse;
+
+fn explore_cfg(seed: u64) -> RaceConfig {
+    RaceConfig {
+        bound: 6,
+        max_schedules: 400,
+        random_schedules: 4,
+        seed,
+        ..RaceConfig::default()
+    }
+}
+
+fn apply_all(wh: &mut Warehouse, scenario: &SnapshotScenario) {
+    for batch in scenario.batches() {
+        wh.apply_batch(batch).expect("quarantine absorbs the fault");
+    }
+}
+
+/// With quarantine on but auto-repair off, the panicking `product_sales`
+/// engine is isolated and the five healthy summaries commit the whole
+/// workload — byte-identically across every explored interleaving and
+/// the sequential oracle.
+#[test]
+fn healthy_subset_commits_identically_across_schedules() {
+    silence_injected_panics();
+    let scenario = retail_scenario(3, 6, 71)
+        .renamed("retail-panic-noheal")
+        .with_quarantine(false)
+        .with_fault(PlannedFault::Panic {
+            point: "engine.apply.change@product_sales".into(),
+            nth: 0,
+        });
+
+    let report = Explorer::new(&scenario, explore_cfg(0x9A41)).run();
+    assert!(report.exhaustive, "{}", report.summary());
+    assert!(
+        report.is_clean(),
+        "healthy-subset commit must be schedule-independent:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // A sequential run shows what every schedule converged to: one
+    // quarantined summary with its deltas queued, the rest live.
+    let mut wh = scenario.build(Warehouse::builder().workers(1));
+    let before = wh.summary_rows("product_sales").unwrap();
+    apply_all(&mut wh, &scenario);
+    assert!(wh.is_quarantined("product_sales"));
+    let (_, entry) = wh.quarantined().next().unwrap();
+    assert!(entry.since_lsn() > 0);
+    assert!(entry.pending_changes() > 0, "queued deltas accumulate");
+    assert!(entry.cause().contains("injected panic"));
+    // The isolated summary is frozen at its pre-fault state...
+    assert_eq!(wh.summary_rows("product_sales").unwrap(), before);
+    // ...while a healthy summary moved with the workload.
+    let clean = {
+        let mut wh = retail_scenario(3, 6, 71).build(Warehouse::builder().workers(1));
+        apply_all(&mut wh, &retail_scenario(3, 6, 71));
+        wh
+    };
+    assert_eq!(
+        wh.summary_rows("store_revenue").unwrap(),
+        clean.summary_rows("store_revenue").unwrap(),
+        "healthy summaries commit the full workload"
+    );
+}
+
+/// With auto-repair on, every interleaving converges to the oracle's
+/// repaired state, and that state matches a warehouse that never
+/// faulted, summary for summary, at the same LSN.
+#[test]
+fn repair_restores_the_fault_free_state_on_every_schedule() {
+    silence_injected_panics();
+    let scenario = retail_panic_scenario(72);
+
+    let report = Explorer::new(&scenario, explore_cfg(0x9A42)).run();
+    assert!(report.exhaustive, "{}", report.summary());
+    assert!(
+        report.is_clean(),
+        "repair must be schedule-independent:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    let mut repaired = scenario.build(Warehouse::builder().workers(2));
+    apply_all(&mut repaired, &scenario);
+    assert_eq!(repaired.quarantined().count(), 0, "auto-repair drains");
+
+    let clean_scenario = retail_scenario(3, 6, 72);
+    let mut clean = clean_scenario.build(Warehouse::builder().workers(1));
+    apply_all(&mut clean, &clean_scenario);
+
+    for (name, report) in repaired.audit() {
+        assert!(report.is_clean(), "audit of '{name}' after repair");
+    }
+    for name in [
+        "product_sales",
+        "product_sales_max",
+        "store_revenue",
+        "daily_product",
+        "monthly_volume",
+        "country_revenue",
+    ] {
+        assert_eq!(
+            repaired.summary_rows(name).unwrap(),
+            clean.summary_rows(name).unwrap(),
+            "'{name}' must match the fault-free warehouse after repair"
+        );
+    }
+}
+
+/// A transient torn-write storm on the change log retries to the same
+/// final state on every interleaving: the torn frames are truncated by
+/// the retried appends and the surviving log is byte-identical to a
+/// fault-free run's.
+#[test]
+fn retried_wal_appends_are_schedule_independent() {
+    let scenario = retail_transient_wal_scenario(73);
+    let report = Explorer::new(&scenario, explore_cfg(0x9A43)).run();
+    assert!(report.exhaustive, "{}", report.summary());
+    assert!(
+        report.is_clean(),
+        "retried appends must be schedule-independent:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // The healed log is indistinguishable from a never-faulted one.
+    let mut faulted = scenario.build(Warehouse::builder().workers(1));
+    apply_all(&mut faulted, &scenario);
+    let clean_scenario = retail_scenario(3, 6, 73);
+    let mut clean = clean_scenario.build(Warehouse::builder().workers(1));
+    apply_all(&mut clean, &clean_scenario);
+    assert_eq!(faulted.wal_bytes(), clean.wal_bytes());
+    assert_eq!(faulted.save().unwrap(), clean.save().unwrap());
+}

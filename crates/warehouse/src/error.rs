@@ -18,6 +18,15 @@ pub enum WarehouseError {
     DuplicateSummary(String),
     /// No summary with this name exists.
     UnknownSummary(String),
+    /// `repair` was called on a summary that is not quarantined.
+    NotQuarantined(String),
+    /// A repair attempt failed; the summary stays quarantined.
+    RepairFailed {
+        /// The summary that could not be repaired.
+        summary: String,
+        /// What went wrong (rebuild failure or post-repair audit).
+        detail: String,
+    },
     /// Strict-mode registration refused a definition: the `md-check`
     /// analyzer found error-level diagnostics. The full report is
     /// carried so callers can render or serialize it.
@@ -40,6 +49,12 @@ impl fmt::Display for WarehouseError {
             }
             WarehouseError::UnknownSummary(name) => {
                 write!(f, "no summary view named '{name}'")
+            }
+            WarehouseError::NotQuarantined(name) => {
+                write!(f, "summary view '{name}' is not quarantined")
+            }
+            WarehouseError::RepairFailed { summary, detail } => {
+                write!(f, "repair of summary view '{summary}' failed: {detail}")
             }
             WarehouseError::Check(report) => {
                 write!(

@@ -48,8 +48,8 @@ use std::time::Instant;
 use md_algebra::GpsjView;
 use md_core::{derive, DerivedPlan};
 use md_maintain::{
-    AuditReport, ChangeBatch, Executor, FaultPlan, MaintStats, MaintainError, MaintenanceEngine,
-    SchedEvent, SchedOp, StorageLine, Task, ThreadExecutor, Wal,
+    AuditReport, ChangeBatch, Executor, FaultPlan, IoFaultKind, MaintStats, MaintainError,
+    MaintenanceEngine, RetryPolicy, SchedEvent, SchedOp, StorageLine, Task, ThreadExecutor, Wal,
 };
 use md_obs::{Counter, Gauge, Histogram, Obs, ObsConfig};
 use md_relation::{Bag, Catalog, Change, Database, Decoder, Encoder, Row, TableId};
@@ -102,9 +102,29 @@ pub struct DeadLetter {
 /// operator inspection. Dereferences to a slice in rejection order; the
 /// groups of one rejected batch are surfaced deterministically, sorted by
 /// `(table, lsn)` regardless of the worker count that found the failure.
-#[derive(Debug, Default)]
+///
+/// The store is bounded (see [`WarehouseBuilder::dead_letter_capacity`];
+/// unbounded by default): past capacity the *oldest* letters are evicted
+/// first — the newest rejection carries the most diagnostic value — and
+/// every eviction is surfaced through the `deadletter.dropped` counter
+/// and [`DeadLetterStore::dropped`].
+#[derive(Debug)]
 pub struct DeadLetterStore {
     letters: Vec<DeadLetter>,
+    capacity: usize,
+    dropped: u64,
+    dropped_counter: Option<Counter>,
+}
+
+impl Default for DeadLetterStore {
+    fn default() -> Self {
+        DeadLetterStore {
+            letters: Vec::new(),
+            capacity: usize::MAX,
+            dropped: 0,
+            dropped_counter: None,
+        }
+    }
 }
 
 impl Deref for DeadLetterStore {
@@ -116,6 +136,15 @@ impl Deref for DeadLetterStore {
 }
 
 impl DeadLetterStore {
+    fn bounded(capacity: usize, dropped_counter: Counter) -> Self {
+        DeadLetterStore {
+            letters: Vec::new(),
+            capacity,
+            dropped: 0,
+            dropped_counter: Some(dropped_counter),
+        }
+    }
+
     /// The oldest dead letter without removing it.
     pub fn peek(&self) -> Option<&DeadLetter> {
         self.letters.first()
@@ -127,9 +156,27 @@ impl DeadLetterStore {
         std::mem::take(&mut self.letters)
     }
 
+    /// The configured capacity (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Letters evicted (oldest-first) to stay within capacity, ever.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     fn extend_sorted(&mut self, mut letters: Vec<DeadLetter>) {
         letters.sort_by_key(|l| (l.table, l.lsn));
         self.letters.extend(letters);
+        if self.letters.len() > self.capacity {
+            let evict = self.letters.len() - self.capacity;
+            self.letters.drain(..evict);
+            self.dropped += evict as u64;
+            if let Some(c) = &self.dropped_counter {
+                c.add(evict as u64);
+            }
+        }
     }
 }
 
@@ -184,6 +231,20 @@ struct SchedCounters {
     /// Total auxiliary-view rows after compression across all summaries
     /// (refreshed at scrape time).
     aux_rows: Gauge,
+    /// Retried WAL appends after a transient I/O fault.
+    wal_retries: Counter,
+    /// Retried snapshot saves after a transient I/O fault.
+    save_retries: Counter,
+    /// Summaries that entered quarantine, ever.
+    quarantine_entered: Counter,
+    /// Currently quarantined summaries (refreshed at scrape time).
+    quarantine_active: Gauge,
+    /// Summary rows produced by reconstruction rebuilds during repair.
+    repair_rebuilt_rows: Counter,
+    /// Repairs that reinstated a summary.
+    repair_reinstated: Counter,
+    /// Repair attempts that failed (the summary stays quarantined).
+    repair_failed: Counter,
 }
 
 impl SchedCounters {
@@ -200,6 +261,13 @@ impl SchedCounters {
             wal_append_bytes: obs.histogram("wal.append_bytes", &[]),
             deadletter_depth: obs.gauge("deadletter.depth", &[]),
             aux_rows: obs.gauge("aux.rows_after_compression", &[]),
+            wal_retries: obs.counter("wal.retries", &[]),
+            save_retries: obs.counter("save.retries", &[]),
+            quarantine_entered: obs.counter("quarantine.entered", &[]),
+            quarantine_active: obs.gauge("quarantine.active", &[]),
+            repair_rebuilt_rows: obs.counter("repair.rebuilt_rows", &[]),
+            repair_reinstated: obs.counter("repair.reinstated", &[]),
+            repair_failed: obs.counter("repair.failed", &[]),
         }
     }
 
@@ -240,6 +308,10 @@ pub struct WarehouseBuilder {
     obs: ObsConfig,
     executor: Arc<dyn Executor>,
     commit_before_append: bool,
+    quarantine: bool,
+    auto_repair: bool,
+    retry: RetryPolicy,
+    dead_letter_capacity: usize,
 }
 
 impl Default for WarehouseBuilder {
@@ -254,6 +326,10 @@ impl Default for WarehouseBuilder {
             obs: ObsConfig::off(),
             executor: Arc::new(ThreadExecutor),
             commit_before_append: false,
+            quarantine: false,
+            auto_repair: false,
+            retry: RetryPolicy::default(),
+            dead_letter_capacity: usize::MAX,
         }
     }
 }
@@ -334,6 +410,47 @@ impl WarehouseBuilder {
         self
     }
 
+    /// Enables per-summary quarantine (fault-domain isolation). When a
+    /// summary's prepare fails — an engine error, an injected fault, or
+    /// a worker panic — the scheduler isolates *that summary* behind an
+    /// LSN watermark ([`QuarantineEntry`]), commits the healthy rest of
+    /// the batch, and keeps accepting batches: groups relevant to a
+    /// quarantined summary are queued on its entry until
+    /// [`Warehouse::repair`] rebuilds it from its auxiliary views and
+    /// replays them. Off by default, where any engine failure rejects
+    /// the whole batch (all-or-nothing).
+    pub fn quarantine(mut self, enabled: bool) -> Self {
+        self.quarantine = enabled;
+        self
+    }
+
+    /// Enables the auto-repair policy: after every applied batch, each
+    /// quarantined summary is repaired in name order
+    /// ([`Warehouse::repair`] — rebuild from aux views, replay queued
+    /// deltas, audit, reinstate). A summary whose repair fails stays
+    /// quarantined (`repair.failed` counts the attempts). Implies
+    /// nothing unless [`WarehouseBuilder::quarantine`] is also enabled.
+    pub fn auto_repair(mut self, enabled: bool) -> Self {
+        self.auto_repair = enabled;
+        self
+    }
+
+    /// Sets the bounded-backoff retry policy wrapped around the WAL
+    /// append and snapshot save I/O points. The default allows 4
+    /// attempts; [`RetryPolicy::none`] escalates the first failure.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Bounds the dead-letter store. Past `capacity` letters the oldest
+    /// are evicted first, surfaced via the `deadletter.dropped` counter.
+    /// Unbounded by default.
+    pub fn dead_letter_capacity(mut self, capacity: usize) -> Self {
+        self.dead_letter_capacity = capacity;
+        self
+    }
+
     /// Sets the observability mode ([`ObsConfig::off`] by default, where
     /// spans and histograms are branch-only no-ops). Every engine the
     /// warehouse registers shares the resulting [`Obs`] handle, so
@@ -348,12 +465,18 @@ impl WarehouseBuilder {
     pub fn build(self, catalog: &Catalog) -> Warehouse {
         let obs = Obs::new(self.obs);
         let sched = SchedCounters::new(&obs);
+        let dead_letters = DeadLetterStore::bounded(
+            self.dead_letter_capacity,
+            obs.counter("deadletter.dropped", &[]),
+        );
         Warehouse {
             catalog: catalog.clone(),
             engines: BTreeMap::new(),
             table_seq: BTreeMap::new(),
             wal: if self.wal { Some(Wal::new()) } else { None },
-            dead_letters: DeadLetterStore::default(),
+            dead_letters,
+            quarantine: BTreeMap::new(),
+            recovery_warnings: Vec::new(),
             sched,
             obs,
             config: self,
@@ -419,8 +542,35 @@ impl WarehouseBuilder {
         wal_bytes: &[u8],
     ) -> Result<Warehouse> {
         let keep_wal = self.wal;
-        let mut wh = self.restore(catalog, snapshot)?;
-        let (records, _) = Wal::replay(wal_bytes)?;
+        let mut warnings: Vec<String> = Vec::new();
+        // A missing/empty snapshot with a surviving log is a valid cold
+        // start: replay from genesis. (The sequence numbers advance from
+        // the log; summaries registered later initial-load at the
+        // post-replay state.)
+        let mut wh = if snapshot.is_empty() {
+            warnings.push(
+                "snapshot image is missing or empty; replaying the change log from genesis"
+                    .to_owned(),
+            );
+            self.build(catalog)
+        } else {
+            self.restore(catalog, snapshot)?
+        };
+        // The reverse asymmetry — a snapshot but no log where one was
+        // expected — silently loses every batch committed after the
+        // snapshot. Come up serving, but say so.
+        if wal_bytes.is_empty() && !snapshot.is_empty() && keep_wal {
+            warnings.push(
+                "change log is missing or empty but a snapshot is present; batches \
+                 committed after the snapshot cannot be replayed"
+                    .to_owned(),
+            );
+        }
+        let records = if wal_bytes.is_empty() {
+            Vec::new()
+        } else {
+            Wal::replay(wal_bytes)?.0
+        };
         for rec in records {
             let seq = wh.table_seq.entry(rec.table).or_insert(0);
             *seq = (*seq).max(rec.lsn);
@@ -458,12 +608,72 @@ impl WarehouseBuilder {
         // Adopt the surviving log so new batches append after its valid
         // prefix (any torn tail is truncated on the next append).
         wh.wal = if keep_wal {
-            Some(Wal::open(wal_bytes.to_vec())?)
+            Some(if wal_bytes.is_empty() {
+                Wal::new()
+            } else {
+                Wal::open(wal_bytes.to_vec())?
+            })
         } else {
             None
         };
+        wh.recovery_warnings = warnings;
         Ok(wh)
     }
+}
+
+/// A quarantined summary: isolated behind an LSN watermark with its
+/// pending deltas queued, while the rest of the warehouse keeps
+/// committing. See [`WarehouseBuilder::quarantine`] and
+/// [`Warehouse::repair`].
+#[derive(Debug)]
+pub struct QuarantineEntry {
+    /// The first batch LSN this summary failed to commit — the watermark
+    /// it is isolated behind. Repair replays from here.
+    since_lsn: u64,
+    /// Why the summary was quarantined.
+    cause: String,
+    /// Change groups committed warehouse-wide while this summary was
+    /// isolated (including the failing batch's), awaiting replay:
+    /// `(table, lsn, changes)` in commit order.
+    pending: Vec<(TableId, u64, Vec<Change>)>,
+}
+
+impl QuarantineEntry {
+    /// The LSN watermark the summary is isolated behind.
+    pub fn since_lsn(&self) -> u64 {
+        self.since_lsn
+    }
+
+    /// Why the summary was quarantined.
+    pub fn cause(&self) -> &str {
+        &self.cause
+    }
+
+    /// Queued change groups awaiting replay.
+    pub fn pending_groups(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Queued individual changes awaiting replay.
+    pub fn pending_changes(&self) -> usize {
+        self.pending.iter().map(|(_, _, c)| c.len()).sum()
+    }
+}
+
+/// What one [`Warehouse::repair`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairReport {
+    /// The repaired summary.
+    pub summary: String,
+    /// Summary rows after the reconstruction rebuild.
+    pub rebuilt_rows: u64,
+    /// Queued change groups replayed into the rebuilt engine.
+    pub replayed_groups: usize,
+    /// Queued groups that no longer applied and went to the dead-letter
+    /// store instead.
+    pub dead_lettered: usize,
+    /// Wall-clock nanoseconds the repair took.
+    pub elapsed_nanos: u64,
 }
 
 /// A data warehouse maintaining one or more GPSJ summary views over
@@ -479,6 +689,15 @@ pub struct Warehouse {
     wal: Option<Wal>,
     /// Rejected change groups, in rejection order.
     dead_letters: DeadLetterStore,
+    /// Quarantined summaries with their queued deltas, by name. Not
+    /// serialized into [`Warehouse::save`] images: the queued deltas are
+    /// already durable in the change log, and recovery's idempotent
+    /// replay brings a lagging engine back to the current LSN.
+    quarantine: BTreeMap<String, QuarantineEntry>,
+    /// Human-readable anomalies [`WarehouseBuilder::recover`] noticed
+    /// (missing snapshot, missing log); empty for a built/restored
+    /// warehouse.
+    recovery_warnings: Vec<String>,
     /// Scheduler metric handles (backing [`SchedulerStats`]).
     sched: SchedCounters,
     /// The shared observability handle (registry + tracer).
@@ -570,6 +789,9 @@ impl Warehouse {
         self.sched
             .deadletter_depth
             .set(self.dead_letters.len() as i64);
+        self.sched
+            .quarantine_active
+            .set(self.quarantine.len() as i64);
         let aux_rows: i64 = self
             .engines
             .values()
@@ -699,6 +921,15 @@ impl Warehouse {
         match outcome {
             Ok(()) => {
                 self.sched.batches_applied.incr();
+                // The auto-repair policy: after each applied batch, try
+                // to bring every quarantined summary back (rebuild,
+                // replay, audit, reinstate). Failures leave the summary
+                // quarantined; `repair.failed` counts the attempts.
+                if self.config.auto_repair && !self.quarantine.is_empty() {
+                    for (_, result) in self.repair_all() {
+                        let _ = result;
+                    }
+                }
                 Ok(())
             }
             Err(e) => {
@@ -750,13 +981,41 @@ impl Warehouse {
             lsns: lsns.clone(),
         }));
 
+        // Already-quarantined summaries sit out the batch: their share of
+        // the groups is queued on the quarantine entry (the batch still
+        // commits warehouse-wide, so the queue mirrors the durable log).
+        if !self.quarantine.is_empty() {
+            let names: Vec<String> = self.quarantine.keys().cloned().collect();
+            for name in names {
+                let Some(engine) = self.engines.get(&name) else {
+                    continue;
+                };
+                let relevant: Vec<(TableId, u64, Vec<Change>)> = groups
+                    .iter()
+                    .zip(&lsns)
+                    .filter(|((t, _), _)| engine.plan().view.tables.contains(t))
+                    .map(|((t, c), (_, lsn))| (*t, *lsn, c.clone()))
+                    .collect();
+                if !relevant.is_empty() {
+                    self.quarantine
+                        .get_mut(&name)
+                        .expect("listed above")
+                        .pending
+                        .extend(relevant);
+                }
+            }
+        }
+
         // Phase 1: prepare every affected engine, partitioned across the
         // configured workers and run through the executor (scoped OS
         // threads in production, md-race's stepper under test). Every
         // engine runs its whole share — even after another engine fails —
         // so the set of discovered failures (and therefore the dead
         // letters and the returned error) does not depend on thread
-        // timing. Results come back in engine-name order.
+        // timing. Results come back in engine-name order. A panicking
+        // engine is caught at the task boundary and reported like a
+        // failed prepare, carrying its payload so the non-isolating
+        // configuration can resume the unwind.
         let fanout_started = Instant::now();
         let fanout_span = self.obs.span("scheduler.fanout");
         // One engine's share of the batch: its name, exclusive access to
@@ -766,11 +1025,20 @@ impl Warehouse {
             &'a mut MaintenanceEngine,
             Vec<(TableId, &'a [Change])>,
         );
-        let outcome: Vec<(String, std::result::Result<(), MaintainError>)> = {
+        type PrepareOutcome = (
+            String,
+            std::result::Result<(), MaintainError>,
+            Option<Box<dyn std::any::Any + Send>>,
+        );
+        let outcome: Vec<PrepareOutcome> = {
+            let quarantine = &self.quarantine;
             let mut assignments: Vec<Assignment<'_>> = self
                 .engines
                 .iter_mut()
                 .filter_map(|(name, engine)| {
+                    if quarantine.contains_key(name) {
+                        return None;
+                    }
                     let eng_groups: Vec<(TableId, &[Change])> = groups
                         .iter()
                         .filter(|(t, _)| engine.plan().view.tables.contains(t))
@@ -790,7 +1058,7 @@ impl Warehouse {
                 let per_worker = assignments.len().div_ceil(workers);
                 // Each task writes its chunk's results into its own slice
                 // of `results`, so completion order never reorders them.
-                let mut results: Vec<Option<(String, std::result::Result<(), MaintainError>)>> =
+                let mut results: Vec<Option<PrepareOutcome>> =
                     assignments.iter().map(|_| None).collect();
                 let exec: &dyn Executor = executor.as_ref();
                 let tasks: Vec<Task<'_>> = assignments
@@ -808,7 +1076,20 @@ impl Warehouse {
                                         engine: name.clone(),
                                     },
                                 });
-                                let result = engine.prepare_batch(eng_groups);
+                                let caught =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        engine.prepare_batch(eng_groups)
+                                    }));
+                                let (result, payload) = match caught {
+                                    Ok(r) => (r, None),
+                                    Err(p) => (
+                                        Err(MaintainError::InvariantViolation(format!(
+                                            "prepare panicked: {}",
+                                            panic_message(p.as_ref())
+                                        ))),
+                                        Some(p),
+                                    ),
+                                };
                                 exec.yield_point(SchedEvent {
                                     task,
                                     op: SchedOp::PrepareDone {
@@ -816,7 +1097,7 @@ impl Warehouse {
                                         ok: result.is_ok(),
                                     },
                                 });
-                                *slot = Some((name.clone(), result));
+                                *slot = Some((name.clone(), result, payload));
                             }
                         }) as Task<'_>
                     })
@@ -834,21 +1115,36 @@ impl Warehouse {
             .add(fanout_started.elapsed().as_nanos() as u64);
 
         let mut prepared: Vec<String> = Vec::with_capacity(outcome.len());
-        let mut first_failure: Option<MaintainError> = None;
-        for (name, result) in outcome {
+        let mut failures: Vec<(String, MaintainError)> = Vec::new();
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for (name, result, payload) in outcome {
             match result {
                 Ok(()) => prepared.push(name),
                 Err(e) => {
-                    if first_failure.is_none() {
-                        first_failure = Some(e);
+                    if first_panic.is_none() {
+                        first_panic = payload;
                     }
+                    failures.push((name, e));
                 }
             }
         }
-        if let Some(e) = first_failure {
-            // Failed engines already rolled themselves back.
-            self.rollback_prepared(&prepared, executor.as_ref());
-            return Err(e.into());
+        if !failures.is_empty() {
+            if !self.config.quarantine {
+                // All-or-nothing: a panic propagates as before isolation
+                // existed; an error rejects the whole batch. Failed
+                // engines already rolled themselves back.
+                if let Some(p) = first_panic {
+                    std::panic::resume_unwind(p);
+                }
+                self.rollback_prepared(&prepared, executor.as_ref());
+                return Err(failures.remove(0).1.into());
+            }
+            // Fault-domain isolation: quarantine each failed summary
+            // behind this batch's watermark, queue its share of the
+            // groups, and carry on with the healthy subset.
+            for (name, cause) in failures {
+                self.enter_quarantine(&name, &cause, groups, &lsns, executor.as_ref());
+            }
         }
 
         if self.config.commit_before_append {
@@ -887,10 +1183,43 @@ impl Warehouse {
             self.rollback_prepared(prepared, exec);
             return Err(e.into());
         }
-        // Injection point: a crash before any log bytes are written.
-        if let Err(e) = self.config.faults.hit("warehouse.wal.append") {
-            self.rollback_prepared(prepared, exec);
-            return Err(e.into());
+        // Injection point: I/O failures at the append point. Transient,
+        // retryable kinds get bounded-backoff retries — a torn-write
+        // fault additionally leaves a torn frame behind, which the
+        // retried append truncates (heal-on-retry). Crash kinds and
+        // disk-full escalate: roll back and dead-letter the batch.
+        let mut attempts = 0u32;
+        loop {
+            match self.config.faults.hit("warehouse.wal.append") {
+                Ok(()) => break,
+                Err(e) => {
+                    attempts += 1;
+                    if let MaintainError::Io {
+                        kind: IoFaultKind::Torn,
+                        ..
+                    } = &e
+                    {
+                        if let (Some((table, changes)), Some((_, lsn))) =
+                            (groups.first(), lsns.first())
+                        {
+                            self.wal
+                                .as_mut()
+                                .expect("checked")
+                                .append_torn(*table, *lsn, changes);
+                        }
+                    }
+                    if self.config.retry.should_retry(&e, attempts) {
+                        self.sched.wal_retries.incr();
+                        let pause = self.config.retry.backoff(attempts);
+                        if !pause.is_zero() {
+                            std::thread::sleep(pause);
+                        }
+                        continue;
+                    }
+                    self.rollback_prepared(prepared, exec);
+                    return Err(e.into());
+                }
+            }
         }
         let wal_started = Instant::now();
         let wal_span = self.obs.span("wal.append");
@@ -970,6 +1299,197 @@ impl Warehouse {
         }
     }
 
+    /// Isolates one failed summary behind the current batch's LSN
+    /// watermark: rolls its engine back to the last consistent state,
+    /// queues its share of the batch, and records the cause. The rest of
+    /// the warehouse continues committing.
+    fn enter_quarantine(
+        &mut self,
+        name: &str,
+        cause: &MaintainError,
+        groups: &[(TableId, Vec<Change>)],
+        lsns: &[(TableId, u64)],
+        exec: &dyn Executor,
+    ) {
+        let Some(engine) = self.engines.get_mut(name) else {
+            return;
+        };
+        exec.yield_point(SchedEvent::coord(SchedOp::Rollback {
+            engine: name.to_owned(),
+        }));
+        // After an error the engine already rolled back; after a caught
+        // panic this restores the pre-batch state from the undo log.
+        engine.rollback_prepared();
+        let pending: Vec<(TableId, u64, Vec<Change>)> = groups
+            .iter()
+            .zip(lsns)
+            .filter(|((t, _), _)| engine.plan().view.tables.contains(t))
+            .map(|((t, c), (_, lsn))| (*t, *lsn, c.clone()))
+            .collect();
+        let since_lsn = pending.iter().map(|(_, lsn, _)| *lsn).min().unwrap_or(0);
+        self.sched.quarantine_entered.incr();
+        self.quarantine.insert(
+            name.to_owned(),
+            QuarantineEntry {
+                since_lsn,
+                cause: cause.to_string(),
+                pending,
+            },
+        );
+    }
+
+    /// The currently quarantined summaries, in name order.
+    pub fn quarantined(&self) -> impl Iterator<Item = (&str, &QuarantineEntry)> {
+        self.quarantine.iter().map(|(n, e)| (n.as_str(), e))
+    }
+
+    /// Whether `name` is currently quarantined.
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        self.quarantine.contains_key(name)
+    }
+
+    /// Repairs one quarantined summary — the self-healing path promised
+    /// by the paper's reconstruction query: rebuild `V` from the
+    /// auxiliary views alone, replay the queued deltas up to the current
+    /// LSN (groups that no longer apply are dead-lettered, mirroring
+    /// recovery), run the source-free audit as the reinstatement gate,
+    /// and lift the quarantine. On failure the summary stays quarantined
+    /// with an updated cause.
+    pub fn repair(&mut self, name: &str) -> Result<RepairReport> {
+        if !self.engines.contains_key(name) {
+            return Err(WarehouseError::UnknownSummary(name.to_owned()));
+        }
+        let Some(entry) = self.quarantine.remove(name) else {
+            return Err(WarehouseError::NotQuarantined(name.to_owned()));
+        };
+        let started = Instant::now();
+        let span = self
+            .obs
+            .span("warehouse.repair")
+            .field("summary", name)
+            .field("pending", entry.pending.len());
+        let engine = self.engines.get_mut(name).expect("checked above");
+        let rebuilt_rows = match engine.rebuild_summary() {
+            Ok(rows) => rows,
+            Err(e) => {
+                let detail = format!("rebuild from auxiliary views failed: {e}");
+                self.sched.repair_failed.incr();
+                self.quarantine.insert(
+                    name.to_owned(),
+                    QuarantineEntry {
+                        cause: detail.clone(),
+                        ..entry
+                    },
+                );
+                drop(span.field("outcome", "rebuild-failed"));
+                return Err(WarehouseError::RepairFailed {
+                    summary: name.to_owned(),
+                    detail,
+                });
+            }
+        };
+        // Replay the queue idempotently; a group that no longer applies
+        // is dead-lettered and skipped, exactly like crash recovery.
+        let mut replayed = 0usize;
+        let mut letters: Vec<DeadLetter> = Vec::new();
+        for (table, lsn, changes) in &entry.pending {
+            match engine.apply_at(*table, changes, *lsn) {
+                Ok(_) => replayed += 1,
+                Err(e) => {
+                    let change_index = match &e {
+                        MaintainError::Rejected { change_index, .. } => *change_index,
+                        _ => None,
+                    };
+                    letters.push(DeadLetter {
+                        table: *table,
+                        lsn: *lsn,
+                        changes: changes.clone(),
+                        change_index,
+                        reason: format!(
+                            "quarantine replay for summary '{name}' at lsn {lsn} failed: {e}"
+                        ),
+                    });
+                }
+            }
+        }
+        // Reinstatement gate: the source-free oracle (reconstruction
+        // from X plus index cross-checks) must be clean.
+        let audit = engine.audit();
+        if !audit.is_clean() {
+            let detail = format!("post-repair audit failed: {audit:?}");
+            self.sched.repair_failed.incr();
+            self.quarantine.insert(
+                name.to_owned(),
+                QuarantineEntry {
+                    since_lsn: entry.since_lsn,
+                    cause: detail.clone(),
+                    pending: Vec::new(), // consumed above; the WAL still holds them
+                },
+            );
+            drop(span.field("outcome", "audit-failed"));
+            return Err(WarehouseError::RepairFailed {
+                summary: name.to_owned(),
+                detail,
+            });
+        }
+        let dead_lettered = letters.len();
+        self.dead_letters.extend_sorted(letters);
+        self.sched.repair_rebuilt_rows.add(rebuilt_rows);
+        self.sched.repair_reinstated.incr();
+        drop(span.field("outcome", "reinstated"));
+        Ok(RepairReport {
+            summary: name.to_owned(),
+            rebuilt_rows,
+            replayed_groups: replayed,
+            dead_lettered,
+            elapsed_nanos: started.elapsed().as_nanos() as u64,
+        })
+    }
+
+    /// Repairs every quarantined summary in name order; returns one
+    /// result per attempt.
+    pub fn repair_all(&mut self) -> Vec<(String, Result<RepairReport>)> {
+        let names: Vec<String> = self.quarantine.keys().cloned().collect();
+        names
+            .into_iter()
+            .map(|name| {
+                let outcome = self.repair(&name);
+                (name, outcome)
+            })
+            .collect()
+    }
+
+    /// Warnings the recovery path noticed (missing snapshot or change
+    /// log); empty for a warehouse that was built or restored normally.
+    pub fn recovery_warnings(&self) -> &[String] {
+        &self.recovery_warnings
+    }
+
+    /// Describes this warehouse's fault-isolation configuration as an
+    /// abstract [`md_check::FaultDomainModel`], for the `MD07x` static
+    /// pass ([`md_check::check_fault_domains`]).
+    pub fn fault_domain_model(&self) -> md_check::FaultDomainModel {
+        md_check::FaultDomainModel {
+            wal_enabled: self.wal.is_some(),
+            quarantine: self.config.quarantine,
+            auto_repair: self.config.auto_repair,
+            retry_attempts: self.config.retry.max_attempts(),
+            dead_letter_capacity: if self.dead_letters.capacity() == usize::MAX {
+                None
+            } else {
+                Some(self.dead_letters.capacity())
+            },
+            summaries: self
+                .engines
+                .iter()
+                .map(|(name, engine)| md_check::FaultDomainSummary {
+                    name: name.clone(),
+                    root_omitted: engine.plan().root_omitted(),
+                })
+                .collect(),
+        }
+    }
+
     /// Describes the schedule the scheduler would run for `batch` as an
     /// abstract [`md_check::SchedModel`], for the `MD06x` static
     /// ordering pass: per-worker engine acquisitions and prepares, then
@@ -997,14 +1517,16 @@ impl Warehouse {
         model.push(0, Op::BatchStart);
 
         // The prepare fan-out: engines partitioned across workers in
-        // name order, exactly as `try_apply_batch` chunks them.
+        // name order, exactly as `try_apply_batch` chunks them —
+        // including that quarantined summaries sit the batch out.
         let assignments: Vec<&String> = self
             .engines
             .iter()
-            .filter(|(_, engine)| {
-                groups
-                    .iter()
-                    .any(|(t, _)| engine.plan().view.tables.contains(t))
+            .filter(|(name, engine)| {
+                !self.quarantine.contains_key(*name)
+                    && groups
+                        .iter()
+                        .any(|(t, _)| engine.plan().view.tables.contains(t))
             })
             .map(|(name, _)| name)
             .collect();
@@ -1175,7 +1697,14 @@ impl Warehouse {
     /// survive restarts without ever contacting the sources, which is the
     /// paper's operating assumption.
     pub fn save(&self) -> Result<Vec<u8>> {
-        self.config.faults.hit("warehouse.save")?;
+        // Injection point, retry-wrapped like the WAL append: transient
+        // I/O faults get bounded-backoff retries before escalating.
+        let (hit, retries) = self
+            .config
+            .retry
+            .run(|_| self.config.faults.hit("warehouse.save"));
+        self.sched.save_retries.add(retries as u64);
+        hit?;
         let mut e = Encoder::new();
         e.put_str("MDWH2");
         // Per-table batch sequence numbers, so recovery knows where the
@@ -1254,6 +1783,17 @@ impl Warehouse {
             );
         }
         Ok(out)
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 

@@ -1,0 +1,273 @@
+//! End-to-end fault-domain isolation: a faulty summary is quarantined
+//! behind an LSN watermark while the healthy rest of the warehouse keeps
+//! committing, queued deltas replay on repair, transient I/O faults are
+//! absorbed by the bounded-backoff retry, and the recovery asymmetries
+//! (log without snapshot, snapshot without log) come up serving with a
+//! warning instead of failing.
+
+use md_maintain::{FaultPlan, IoFaultKind};
+use md_warehouse::{ChangeBatch, Warehouse, WarehouseError};
+use md_workload::{
+    generate_retail, sale_changes, views, Contracts, RetailParams, RetailSchema, UpdateMix,
+};
+
+const SUMMARIES: [&str; 4] = [
+    "product_sales",
+    "product_sales_max",
+    "store_revenue",
+    "daily_product",
+];
+
+fn add_paper_views(wh: &mut Warehouse, db: &md_relation::Database) {
+    for sql in [
+        views::PRODUCT_SALES_SQL,
+        views::PRODUCT_SALES_MAX_SQL,
+        views::STORE_REVENUE_SQL,
+        views::DAILY_PRODUCT_SQL,
+    ] {
+        wh.add_summary_sql(sql, db).expect("paper views are valid");
+    }
+}
+
+fn batches(db: &mut md_relation::Database, schema: &RetailSchema, n: usize) -> Vec<ChangeBatch> {
+    (0..n)
+        .map(|i| {
+            let changes = sale_changes(db, schema, 10, UpdateMix::balanced(), 7200 + i as u64);
+            ChangeBatch::single(schema.sale, changes)
+        })
+        .collect()
+}
+
+/// The oracle: the same workload applied to a warehouse that never
+/// faulted.
+fn fault_free(db: &md_relation::Database, workload: &[ChangeBatch]) -> Warehouse {
+    let mut wh = Warehouse::new(db.catalog());
+    add_paper_views(&mut wh, db);
+    for batch in workload {
+        wh.apply_batch(batch).expect("oracle applies cleanly");
+    }
+    wh
+}
+
+/// A mid-prepare fault quarantines only `daily_product`; the three
+/// healthy summaries commit the whole workload, follow-up batches queue
+/// on the entry, and `repair` reinstates the summary to the exact
+/// fault-free state.
+#[test]
+fn quarantine_isolates_the_faulty_summary_and_repair_reinstates_it() {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let pristine = db.clone();
+    let mut faults = FaultPlan::recording();
+    let mut wh = Warehouse::builder()
+        .workers(2)
+        .quarantine(true)
+        .fault_plan(faults.clone())
+        .build(db.catalog());
+    add_paper_views(&mut wh, &db);
+
+    let workload = batches(&mut db, &schema, 3);
+    wh.apply_batch(&workload[0]).expect("clean batch commits");
+
+    // The second batch's first change to `daily_product` fails.
+    faults.arm("engine.apply.change@daily_product", 0);
+    wh.apply_batch(&workload[1])
+        .expect("quarantine absorbs the engine fault");
+    assert!(wh.is_quarantined("daily_product"));
+    let entry = wh
+        .quarantined()
+        .find(|(name, _)| *name == "daily_product")
+        .map(|(_, e)| (e.since_lsn(), e.pending_groups(), e.cause().to_owned()))
+        .expect("entry exists");
+    assert!(entry.0 > 0, "watermark is a committed LSN");
+    assert_eq!(entry.1, 1, "the faulted batch's group is queued");
+    assert!(
+        entry.2.contains("injected"),
+        "cause names the fault: {}",
+        entry.2
+    );
+
+    // A third batch commits for the healthy summaries and queues for the
+    // quarantined one.
+    wh.apply_batch(&workload[2]).expect("serving continues");
+    let (_, e) = wh.quarantined().next().unwrap();
+    assert_eq!(e.pending_groups(), 2);
+    assert!(e.pending_changes() >= 2);
+
+    let oracle = fault_free(&pristine, &workload);
+    for name in ["product_sales", "product_sales_max", "store_revenue"] {
+        assert_eq!(
+            wh.summary_rows(name).unwrap(),
+            oracle.summary_rows(name).unwrap(),
+            "healthy summary '{name}' commits the whole workload"
+        );
+    }
+
+    let report = wh.repair("daily_product").expect("repair succeeds");
+    assert_eq!(report.summary, "daily_product");
+    assert_eq!(report.replayed_groups, 2);
+    assert_eq!(report.dead_lettered, 0);
+    assert!(report.rebuilt_rows > 0);
+    assert_eq!(wh.quarantined().count(), 0);
+    assert!(wh.dead_letters().is_empty());
+    for (name, audit) in wh.audit() {
+        assert!(audit.is_clean(), "audit of '{name}' after repair");
+    }
+    for name in SUMMARIES {
+        assert_eq!(
+            wh.summary_rows(name).unwrap(),
+            oracle.summary_rows(name).unwrap(),
+            "'{name}' matches the fault-free warehouse after repair"
+        );
+    }
+}
+
+/// With the auto-repair policy on, the quarantine drains before
+/// `apply_batch` returns and the caller never observes an isolated
+/// summary.
+#[test]
+fn auto_repair_reinstates_before_apply_batch_returns() {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let pristine = db.clone();
+    let mut faults = FaultPlan::recording();
+    let mut wh = Warehouse::builder()
+        .workers(2)
+        .quarantine(true)
+        .auto_repair(true)
+        .fault_plan(faults.clone())
+        .build(db.catalog());
+    add_paper_views(&mut wh, &db);
+
+    let workload = batches(&mut db, &schema, 2);
+    faults.arm("engine.apply.change@store_revenue", 0);
+    for batch in &workload {
+        wh.apply_batch(batch).expect("auto-repair heals in-line");
+        assert_eq!(wh.quarantined().count(), 0);
+    }
+    let oracle = fault_free(&pristine, &workload);
+    for name in SUMMARIES {
+        assert_eq!(
+            wh.summary_rows(name).unwrap(),
+            oracle.summary_rows(name).unwrap()
+        );
+    }
+}
+
+/// Repair on a live summary and on an unknown one are typed errors, not
+/// silent no-ops.
+#[test]
+fn repair_outside_quarantine_is_a_typed_error() {
+    let (db, _) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let mut wh = Warehouse::builder().quarantine(true).build(db.catalog());
+    add_paper_views(&mut wh, &db);
+    assert!(matches!(
+        wh.repair("store_revenue"),
+        Err(WarehouseError::NotQuarantined(_))
+    ));
+    assert!(matches!(
+        wh.repair("no_such_summary"),
+        Err(WarehouseError::UnknownSummary(_))
+    ));
+}
+
+/// Transient fsync/write faults on the change-log append and the
+/// snapshot save are absorbed by the bounded-backoff retry: the caller
+/// sees clean commits and the final state matches a fault-free run.
+#[test]
+fn transient_io_faults_are_absorbed_by_retry() {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let pristine = db.clone();
+    let mut faults = FaultPlan::recording();
+    let mut wh = Warehouse::builder()
+        .workers(2)
+        .fault_plan(faults.clone())
+        .build(db.catalog());
+    add_paper_views(&mut wh, &db);
+
+    let workload = batches(&mut db, &schema, 2);
+    faults.arm_transient("warehouse.wal.append", 0, IoFaultKind::Fsync, 2);
+    faults.arm_transient("warehouse.save", 0, IoFaultKind::Write, 1);
+    for batch in &workload {
+        wh.apply_batch(batch).expect("retries absorb the faults");
+    }
+    let image = wh.save().expect("retried save succeeds");
+
+    let oracle = fault_free(&pristine, &workload);
+    assert_eq!(wh.wal_bytes(), oracle.wal_bytes());
+    assert_eq!(image, oracle.save().unwrap());
+}
+
+/// Disk-full is not transient: the append escalates instead of burning
+/// the retry budget, the batch rolls back to a byte-identical pre-batch
+/// state, and the warehouse keeps serving.
+#[test]
+fn disk_full_escalates_and_rolls_back() {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let mut faults = FaultPlan::recording();
+    let mut wh = Warehouse::builder()
+        .workers(2)
+        .fault_plan(faults.clone())
+        .build(db.catalog());
+    add_paper_views(&mut wh, &db);
+
+    let workload = batches(&mut db, &schema, 2);
+    let before = wh.save().unwrap();
+    faults.arm_transient("warehouse.wal.append", 0, IoFaultKind::DiskFull, 1);
+    let err = wh
+        .apply_batch(&workload[0])
+        .expect_err("disk full escalates");
+    assert!(err.to_string().contains("disk-full"), "got: {err}");
+    assert_eq!(wh.save().unwrap(), before, "failed batch leaves no trace");
+
+    wh.apply_batch(&workload[1]).expect("serving continues");
+    for (name, audit) in wh.audit() {
+        assert!(audit.is_clean(), "audit of '{name}'");
+    }
+}
+
+/// Recovery asymmetry, genesis side: a surviving change log with a
+/// missing/empty snapshot warns and replays from genesis — summaries
+/// registered afterwards initial-load at the post-replay state and new
+/// batches continue the LSN sequence.
+#[test]
+fn wal_without_a_snapshot_replays_from_genesis() {
+    let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+    let mut wh = Warehouse::new(db.catalog());
+    add_paper_views(&mut wh, &db);
+    let workload = batches(&mut db, &schema, 3);
+    for batch in &workload {
+        wh.apply_batch(batch).expect("clean batch commits");
+    }
+    let wal = wh.wal_bytes().unwrap().to_vec();
+
+    let mut recovered =
+        Warehouse::recover(db.catalog(), b"", &wal).expect("genesis replay succeeds");
+    assert!(
+        recovered
+            .recovery_warnings()
+            .iter()
+            .any(|w| w.contains("genesis")),
+        "genesis recovery must warn: {:?}",
+        recovered.recovery_warnings()
+    );
+    // The sources already contain the workload, so re-registered
+    // summaries initial-load at the recovered warehouse's LSN frontier.
+    add_paper_views(&mut recovered, &db);
+    for name in SUMMARIES {
+        assert_eq!(
+            recovered.summary_rows(name).unwrap(),
+            wh.summary_rows(name).unwrap(),
+            "'{name}' after genesis replay"
+        );
+    }
+    // New batches continue identically on both sides: the replayed LSN
+    // frontier matches the original warehouse's.
+    let next = batches(&mut db, &schema, 1).remove(0);
+    wh.apply_batch(&next).unwrap();
+    recovered.apply_batch(&next).unwrap();
+    for name in SUMMARIES {
+        assert_eq!(
+            recovered.summary_rows(name).unwrap(),
+            wh.summary_rows(name).unwrap()
+        );
+    }
+}

@@ -181,8 +181,20 @@ fn recovery_survives_arbitrary_log_corruption() {
         assert!(Warehouse::recover(db.catalog(), &snapshot, &wal[..cut]).is_ok());
     }
 
+    // An empty byte string is a *missing* log, not a corrupt one:
+    // recovery proceeds from the snapshot alone, but warns that batches
+    // after the snapshot cannot be replayed.
+    let no_log = Warehouse::recover(db.catalog(), &snapshot, b"").unwrap();
+    assert!(
+        no_log
+            .recovery_warnings()
+            .iter()
+            .any(|w| w.contains("change log is missing")),
+        "missing-log recovery must warn: {:?}",
+        no_log.recovery_warnings()
+    );
+
     // Header corruption is a different animal: wrong file, typed error.
-    assert!(Warehouse::recover(db.catalog(), &snapshot, b"").is_err());
     assert!(Warehouse::recover(db.catalog(), &snapshot, b"MDWX\x01").is_err());
     let bad_version = [b"MDWL".as_slice(), &[WAL_VERSION + 1]].concat();
     assert!(Warehouse::recover(db.catalog(), &snapshot, &bad_version).is_err());
