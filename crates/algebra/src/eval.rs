@@ -62,19 +62,30 @@ pub fn eval_view_grouped(view: &GpsjView, db: &Database) -> Result<Vec<GroupEval
     aggregate(view, db, &joined)
 }
 
-/// A materialized joined tuple: one row per view table, in
-/// `view.tables` order.
-type JoinedTuple<'a> = Vec<&'a Row>;
+/// The join result: the locally-filtered rows per view table (owned —
+/// `BaseTable::rows()` materializes from columnar storage) plus the joined
+/// tuples as `(table position, row index)` pairs into `filtered`, each
+/// tuple sorted by table position (= `view.tables` order).
+struct Joined {
+    filtered: Vec<Vec<Row>>,
+    tuples: Vec<Vec<(u32, u32)>>,
+}
+
+impl Joined {
+    fn row(&self, entry: (u32, u32)) -> &Row {
+        &self.filtered[entry.0 as usize][entry.1 as usize]
+    }
+}
 
 /// Computes `σ_S(R₁ ⋈ … ⋈ Rₙ)` as a vector of joined tuples.
-fn join_tables<'a>(view: &GpsjView, db: &'a Database) -> Result<Vec<JoinedTuple<'a>>> {
+fn join_tables(view: &GpsjView, db: &Database) -> Result<Joined> {
     // Local filtering per table.
-    let mut filtered: Vec<Vec<&'a Row>> = Vec::with_capacity(view.tables.len());
+    let mut filtered: Vec<Vec<Row>> = Vec::with_capacity(view.tables.len());
     for &t in &view.tables {
         let locals = view.local_conditions(t);
         let mut rows = Vec::new();
-        for row in db.table(t).scan() {
-            let env = RowEnv::single(t, row);
+        for row in db.table(t).rows() {
+            let env = RowEnv::single(t, &row);
             let mut ok = true;
             for c in &locals {
                 if !c.eval(&env)? {
@@ -95,7 +106,9 @@ fn join_tables<'a>(view: &GpsjView, db: &'a Database) -> Result<Vec<JoinedTuple<
     let mut applied = vec![false; cross_conditions.len()];
 
     let mut bound: Vec<TableId> = vec![view.tables[0]];
-    let mut tuples: Vec<JoinedTuple<'a>> = filtered[0].iter().map(|&r| vec![r]).collect();
+    let mut tuples: Vec<Vec<(u32, u32)>> = (0..filtered[0].len())
+        .map(|i| vec![(0u32, i as u32)])
+        .collect();
 
     while bound.len() < view.tables.len() {
         // Prefer a table connected to the bound set by an equality.
@@ -117,21 +130,24 @@ fn join_tables<'a>(view: &GpsjView, db: &'a Database) -> Result<Vec<JoinedTuple<
             .enumerate()
             .find(|(i, c)| !applied[*i] && connects(c, next_id, &bound));
 
-        let mut new_tuples: Vec<JoinedTuple<'a>> = Vec::new();
+        let mut new_tuples: Vec<Vec<(u32, u32)>> = Vec::new();
         match hash_cond {
             Some((ci, cond)) => {
                 let (next_col, bound_col) = orient(cond, next_id)?;
                 // Build hash index over next_rows on next_col.
-                let mut index: HashMap<&Value, Vec<&'a Row>> = HashMap::new();
-                for &r in next_rows {
-                    index.entry(&r[next_col.column]).or_default().push(r);
+                let mut index: HashMap<&Value, Vec<u32>> = HashMap::new();
+                for (ri, r) in next_rows.iter().enumerate() {
+                    index
+                        .entry(&r[next_col.column])
+                        .or_default()
+                        .push(ri as u32);
                 }
                 for tuple in &tuples {
-                    let probe = tuple_value(view, &bound, tuple, bound_col);
+                    let probe = tuple_value(view, &filtered, tuple, bound_col);
                     if let Some(matches) = index.get(probe) {
                         for &m in matches {
                             let mut t = tuple.clone();
-                            t.push(m);
+                            t.push((next as u32, m));
                             new_tuples.push(t);
                         }
                     }
@@ -142,9 +158,9 @@ fn join_tables<'a>(view: &GpsjView, db: &'a Database) -> Result<Vec<JoinedTuple<
                 // Cross product fallback (no condition connects — rare, and
                 // only for degenerate views).
                 for tuple in &tuples {
-                    for &r in next_rows {
+                    for ri in 0..next_rows.len() {
                         let mut t = tuple.clone();
-                        t.push(r);
+                        t.push((next as u32, ri as u32));
                         new_tuples.push(t);
                     }
                 }
@@ -159,7 +175,7 @@ fn join_tables<'a>(view: &GpsjView, db: &'a Database) -> Result<Vec<JoinedTuple<
             }
             if cond.tables().iter().all(|t| bound.contains(t)) {
                 new_tuples.retain(|tuple| {
-                    let env = env_of(view, &bound, tuple);
+                    let env = env_of(view, &filtered, tuple);
                     cond.eval(&env).unwrap_or(false)
                 });
                 applied[i] = true;
@@ -167,7 +183,12 @@ fn join_tables<'a>(view: &GpsjView, db: &'a Database) -> Result<Vec<JoinedTuple<
         }
         tuples = new_tuples;
     }
-    Ok(tuples)
+    // Normalize every tuple to view-table order so downstream code can
+    // index by table position directly.
+    for t in &mut tuples {
+        t.sort_by_key(|&(tp, _)| tp);
+    }
+    Ok(Joined { filtered, tuples })
 }
 
 fn connects(cond: &Condition, candidate: TableId, bound: &[TableId]) -> bool {
@@ -199,23 +220,29 @@ fn orient(cond: &Condition, next: TableId) -> Result<(ColRef, ColRef)> {
 
 fn tuple_value<'a>(
     view: &GpsjView,
-    bound: &[TableId],
-    tuple: &JoinedTuple<'a>,
+    filtered: &'a [Vec<Row>],
+    tuple: &[(u32, u32)],
     col: ColRef,
 ) -> &'a Value {
-    let _ = view;
-    let pos = bound
+    let pos = view
+        .tables
         .iter()
         .position(|t| *t == col.table)
+        .expect("column table must be in the view");
+    let &(tp, ri) = tuple
+        .iter()
+        .find(|(tp, _)| *tp as usize == pos)
         .expect("column table must be bound");
-    &tuple[pos][col.column]
+    &filtered[tp as usize][ri as usize][col.column]
 }
 
-fn env_of<'a>(view: &GpsjView, bound: &[TableId], tuple: &JoinedTuple<'a>) -> RowEnv<'a> {
-    let _ = view;
+fn env_of<'a>(view: &GpsjView, filtered: &'a [Vec<Row>], tuple: &[(u32, u32)]) -> RowEnv<'a> {
     let mut env = RowEnv::new();
-    for (t, r) in bound.iter().zip(tuple) {
-        env.bind(*t, r);
+    for &(tp, ri) in tuple {
+        env.bind(
+            view.tables[tp as usize],
+            &filtered[tp as usize][ri as usize],
+        );
     }
     env
 }
@@ -223,19 +250,22 @@ fn env_of<'a>(view: &GpsjView, bound: &[TableId], tuple: &JoinedTuple<'a>) -> Ro
 /// Groups joined tuples by the view's group-by attributes and evaluates its
 /// aggregates, producing `(output row, group row count)` pairs in
 /// select-list order, unfiltered by `HAVING`.
-fn aggregate(view: &GpsjView, db: &Database, tuples: &[JoinedTuple<'_>]) -> Result<Vec<GroupEval>> {
+fn aggregate(view: &GpsjView, db: &Database, joined: &Joined) -> Result<Vec<GroupEval>> {
     let catalog = db.catalog();
     let group_cols = view.group_by_cols();
+    let tuples = &joined.tuples;
 
     // Pre-resolve positions: for each table in view order, its index.
+    // Tuples are normalized to that order, so `tuple[pos]` addresses the
+    // table's row directly.
     let table_pos: HashMap<TableId, usize> = view
         .tables
         .iter()
         .enumerate()
         .map(|(i, t)| (*t, i))
         .collect();
-    let value_of = |tuple: &JoinedTuple<'_>, col: ColRef| -> Value {
-        tuple[table_pos[&col.table]][col.column].clone()
+    let value_of = |tuple: &[(u32, u32)], col: ColRef| -> Value {
+        joined.row(tuple[table_pos[&col.table]])[col.column].clone()
     };
 
     // Accumulator prototypes per select item, plus the group row count.

@@ -1,0 +1,303 @@
+//! Vectorized predicate evaluation over columnar chunks.
+//!
+//! The kernels here evaluate a view's *local* conditions against a
+//! [`Chunk`] of source rows, producing a selection [`Bitmap`] instead of
+//! materializing per-row [`Value`]s. Comparison semantics are exactly those
+//! of [`Value::try_cmp`] (same-type compares, numeric cross-type promotion,
+//! NaN-last double order), so a vectorized mask and a row-at-a-time
+//! [`Condition::eval`] loop can never disagree — the property the
+//! maintenance engine's oracle suites rely on.
+//!
+//! String columns are compared through their chunk dictionary: literal
+//! predicates evaluate the comparison once per *dictionary entry* and then
+//! map codes, so a hot predicate over a low-cardinality column costs one
+//! string comparison per distinct value rather than per row.
+
+use std::cmp::Ordering;
+
+use md_relation::{
+    total_cmp_nan_last, Bitmap, Chunk, ChunkColumn, ColumnData, DataType, RelationError, TableId,
+    Value,
+};
+
+use crate::error::{AlgebraError, Result};
+use crate::pred::{CmpOp, Condition, Operand};
+
+/// Evaluates the conjunction of `conds` (each local to `table`) over
+/// `chunk`, whose schema is the table's source schema. Returns the
+/// selection bitmap: bit `i` set iff row `i` passes every condition.
+/// Null slots never pass.
+pub fn eval_local_mask(table: TableId, conds: &[Condition], chunk: &Chunk) -> Result<Bitmap> {
+    let mut mask = Bitmap::filled(chunk.len(), true);
+    for cond in conds {
+        if mask.count_ones() == 0 {
+            break;
+        }
+        let m = eval_condition_mask(table, cond, chunk)?;
+        mask.and_in_place(&m);
+    }
+    Ok(mask)
+}
+
+/// Evaluates one condition over `chunk`, producing its selection bitmap.
+/// The condition must reference only columns of `table`.
+pub fn eval_condition_mask(table: TableId, cond: &Condition, chunk: &Chunk) -> Result<Bitmap> {
+    if cond.left.table != table || matches!(&cond.right, Operand::Col(c) if c.table != table) {
+        return Err(AlgebraError::InvalidView {
+            view: String::new(),
+            detail: "vectorized evaluation requires a single-table condition".into(),
+        });
+    }
+    let left = chunk.column(cond.left.column);
+    match &cond.right {
+        Operand::Lit(lit) => col_lit_mask(left, cond.op, lit, chunk.len()),
+        Operand::Col(c) => col_col_mask(left, cond.op, chunk.column(c.column), chunk.len()),
+    }
+}
+
+/// The error [`Value::try_cmp`] raises for a type pair it cannot order.
+fn incomparable(left: DataType, right: DataType) -> AlgebraError {
+    AlgebraError::from(RelationError::Incomparable { left, right })
+}
+
+fn mask_from(len: usize, mut pred: impl FnMut(usize) -> bool) -> Bitmap {
+    let mut m = Bitmap::filled(len, false);
+    for i in 0..len {
+        if pred(i) {
+            m.set(i, true);
+        }
+    }
+    m
+}
+
+fn apply_validity(mut mask: Bitmap, col: &ChunkColumn) -> Bitmap {
+    if let Some(v) = col.validity() {
+        mask.and_in_place(v);
+    }
+    mask
+}
+
+fn col_lit_mask(col: &ChunkColumn, op: CmpOp, lit: &Value, len: usize) -> Result<Bitmap> {
+    let dtype = col.data().dtype();
+    let mask = match (col.data(), lit) {
+        (ColumnData::Int(v), Value::Int(b)) => {
+            let b = *b;
+            mask_from(len, |i| op.matches(v[i].cmp(&b)))
+        }
+        (ColumnData::Bool(v), Value::Bool(b)) => {
+            let b = *b;
+            mask_from(len, |i| op.matches(v[i].cmp(&b)))
+        }
+        (ColumnData::Str { dict, codes }, Value::Str(s)) => {
+            // One comparison per dictionary entry, then a code map.
+            let code_pass: Vec<bool> = dict.iter().map(|d| op.matches(d.as_str().cmp(s))).collect();
+            mask_from(len, |i| code_pass[codes[i] as usize])
+        }
+        (ColumnData::Int(v), Value::Double(b)) => {
+            let b = *b;
+            mask_from(len, |i| op.matches(total_cmp_nan_last(v[i] as f64, b)))
+        }
+        (ColumnData::Double(v), lit) if lit.data_type().is_numeric() => {
+            let b = lit.as_double().map_err(AlgebraError::from)?;
+            mask_from(len, |i| op.matches(total_cmp_nan_last(v[i], b)))
+        }
+        _ => {
+            // The row path only errors when it actually evaluates a row, so
+            // an empty chunk yields an empty mask rather than an error.
+            if len == 0 {
+                Bitmap::new()
+            } else {
+                return Err(incomparable(dtype, lit.data_type()));
+            }
+        }
+    };
+    Ok(apply_validity(mask, col))
+}
+
+fn col_col_mask(left: &ChunkColumn, op: CmpOp, right: &ChunkColumn, len: usize) -> Result<Bitmap> {
+    use ColumnData as C;
+    let mask = match (left.data(), right.data()) {
+        (C::Int(a), C::Int(b)) => mask_from(len, |i| op.matches(a[i].cmp(&b[i]))),
+        (C::Bool(a), C::Bool(b)) => mask_from(len, |i| op.matches(a[i].cmp(&b[i]))),
+        (C::Double(a), C::Double(b)) => {
+            mask_from(len, |i| op.matches(total_cmp_nan_last(a[i], b[i])))
+        }
+        (C::Int(a), C::Double(b)) => {
+            mask_from(len, |i| op.matches(total_cmp_nan_last(a[i] as f64, b[i])))
+        }
+        (C::Double(a), C::Int(b)) => {
+            mask_from(len, |i| op.matches(total_cmp_nan_last(a[i], b[i] as f64)))
+        }
+        (
+            C::Str {
+                dict: da,
+                codes: ca,
+            },
+            C::Str {
+                dict: db,
+                codes: cb,
+            },
+        ) => mask_from(len, |i| {
+            op.matches(da[ca[i] as usize].as_str().cmp(db[cb[i] as usize].as_str()))
+        }),
+        (a, b) => {
+            if len == 0 {
+                Bitmap::new()
+            } else {
+                return Err(incomparable(a.dtype(), b.dtype()));
+            }
+        }
+    };
+    Ok(apply_validity(apply_validity(mask, left), right))
+}
+
+/// Folds the extremum of a double slice under the NaN-last total order;
+/// the typed twin of a row-at-a-time MIN/MAX fold.
+pub fn fold_extremum_f64(values: &[f64], max: bool) -> Option<f64> {
+    values.iter().copied().reduce(|acc, v| {
+        let ord = total_cmp_nan_last(v, acc);
+        let replace = if max {
+            ord == Ordering::Greater
+        } else {
+            ord == Ordering::Less
+        };
+        if replace {
+            v
+        } else {
+            acc
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::{ColRef, RowEnv};
+    use md_relation::{row, Row, Schema};
+
+    fn chunk() -> (TableId, Chunk) {
+        let t = TableId(0);
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("brand", DataType::Str),
+            ("price", DataType::Double),
+            ("active", DataType::Bool),
+        ]);
+        let rows = vec![
+            row![1, "acme", 10.0, true],
+            row![2, "zeta", 25.0, false],
+            row![3, "acme", 30.0, true],
+            row![4, "mega", 5.0, true],
+        ];
+        (t, Chunk::from_rows(schema, &rows).unwrap())
+    }
+
+    fn rows_of(c: &Chunk) -> Vec<Row> {
+        c.iter_rows().collect::<md_relation::Result<_>>().unwrap()
+    }
+
+    /// Every kernel must agree with the row-at-a-time Condition::eval.
+    fn assert_matches_row_oracle(t: TableId, cond: &Condition, chunk: &Chunk) {
+        let mask = eval_condition_mask(t, cond, chunk).unwrap();
+        for (i, row) in rows_of(chunk).iter().enumerate() {
+            let env = RowEnv::single(t, row);
+            assert_eq!(
+                mask.get(i),
+                cond.eval(&env).unwrap(),
+                "row {i} diverged for {cond:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_kernels_match_row_oracle() {
+        let (t, c) = chunk();
+        for cond in [
+            Condition::cmp_lit(ColRef::new(t, 0), CmpOp::Ge, 3i64),
+            Condition::cmp_lit(ColRef::new(t, 1), CmpOp::Eq, "acme"),
+            Condition::cmp_lit(ColRef::new(t, 1), CmpOp::Ne, "zeta"),
+            Condition::cmp_lit(ColRef::new(t, 2), CmpOp::Lt, 20.0),
+            Condition::cmp_lit(ColRef::new(t, 3), CmpOp::Eq, true),
+            Condition::cmp_lit(ColRef::new(t, 0), CmpOp::Lt, 2.5),
+            Condition::cmp_lit(ColRef::new(t, 2), CmpOp::Ge, 10i64),
+        ] {
+            assert_matches_row_oracle(t, &cond, &c);
+        }
+    }
+
+    #[test]
+    fn column_column_kernels_match_row_oracle() {
+        let (t, c) = chunk();
+        for cond in [
+            Condition {
+                left: ColRef::new(t, 0),
+                op: CmpOp::Lt,
+                right: Operand::Col(ColRef::new(t, 2)),
+            },
+            Condition::eq_cols(ColRef::new(t, 1), ColRef::new(t, 1)),
+        ] {
+            assert_matches_row_oracle(t, &cond, &c);
+        }
+    }
+
+    #[test]
+    fn conjunction_is_intersection() {
+        let (t, c) = chunk();
+        let conds = vec![
+            Condition::cmp_lit(ColRef::new(t, 1), CmpOp::Eq, "acme"),
+            Condition::cmp_lit(ColRef::new(t, 2), CmpOp::Gt, 15.0),
+        ];
+        let mask = eval_local_mask(t, &conds, &c).unwrap();
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn incomparable_types_error_like_try_cmp() {
+        let (t, c) = chunk();
+        let cond = Condition::cmp_lit(ColRef::new(t, 1), CmpOp::Eq, 7i64);
+        assert!(eval_condition_mask(t, &cond, &c).is_err());
+        // ...but an empty chunk never evaluates, matching the row path.
+        let empty = c.filter(&Bitmap::filled(c.len(), false)).unwrap();
+        let mask = eval_condition_mask(t, &cond, &empty).unwrap();
+        assert_eq!(mask.count_ones(), 0);
+    }
+
+    #[test]
+    fn nan_orders_last_in_double_kernel() {
+        let t = TableId(0);
+        let schema = Schema::from_pairs(&[("x", DataType::Double)]);
+        let c = Chunk::from_rows(
+            schema,
+            &[row![f64::NAN], row![f64::NEG_INFINITY], row![1.0]],
+        )
+        .unwrap();
+        // NaN > everything under the NaN-last order, so `x > 1e300` keeps
+        // only the NaN row.
+        let cond = Condition::cmp_lit(ColRef::new(t, 0), CmpOp::Gt, 1e300);
+        let mask = eval_condition_mask(t, &cond, &c).unwrap();
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![0]);
+        assert_matches_row_oracle(t, &cond, &c);
+    }
+
+    #[test]
+    fn null_slots_never_pass() {
+        let t = TableId(0);
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut b = md_relation::ChunkBuilder::new(schema);
+        b.push_values(&[Some(Value::Int(5))]).unwrap();
+        b.push_values(&[None]).unwrap();
+        let c = b.finish();
+        let cond = Condition::cmp_lit(ColRef::new(t, 0), CmpOp::Ge, 0i64);
+        let mask = eval_condition_mask(t, &cond, &c).unwrap();
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn fold_extremum_treats_nan_as_largest() {
+        assert!(fold_extremum_f64(&[1.0, f64::NAN, 3.0], true)
+            .unwrap()
+            .is_nan());
+        assert_eq!(fold_extremum_f64(&[1.0, f64::NAN, 3.0], false), Some(1.0));
+        assert_eq!(fold_extremum_f64(&[], true), None);
+    }
+}

@@ -588,6 +588,7 @@ impl Shell {
                 );
             }
             "\\metrics" => {
+                self.wh.observe_relation(&self.db);
                 if arg1 == Some("--json") {
                     println!("{}", self.wh.metrics_json());
                 } else {

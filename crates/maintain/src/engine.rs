@@ -30,10 +30,10 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use md_algebra::{eval_view, ColRef, GpsjView, RowEnv, SelectItem};
+use md_algebra::{eval_local_mask, eval_view, Aggregate, ColRef, GpsjView, RowEnv, SelectItem};
 use md_core::{edge_is_dependency, AuxViewDef, DerivedPlan};
 use md_obs::{Counter, Histogram, Obs};
-use md_relation::{Bag, Catalog, Change, Database, Row, TableId, Value};
+use md_relation::{Bag, Catalog, Change, ChunkBuilder, Database, Row, TableId, Value};
 
 use crate::error::{MaintainError, Result};
 use crate::fault::FaultPlan;
@@ -96,6 +96,10 @@ pub struct MaintStats {
 #[derive(Debug, Clone, Default)]
 struct MaintCounters {
     rows_processed: Counter,
+    /// Delta rows that took the vectorized (chunk-at-a-time) root path.
+    /// Observability-only: not part of [`MaintStats`], and like the timing
+    /// counters it is not restored on rollback.
+    vectorized_rows: Counter,
     groups_recomputed: Counter,
     summary_rebuilds: Counter,
     dim_noop_changes: Counter,
@@ -116,6 +120,7 @@ impl MaintCounters {
         let labels = [("summary", summary)];
         let c = MaintCounters {
             rows_processed: obs.counter("maintain.rows_processed", &labels),
+            vectorized_rows: obs.counter("maintain.vectorized_rows", &labels),
             groups_recomputed: obs.counter("maintain.groups_recomputed", &labels),
             summary_rebuilds: obs.counter("maintain.summary_rebuilds", &labels),
             dim_noop_changes: obs.counter("maintain.dim_noop_changes", &labels),
@@ -238,6 +243,9 @@ pub struct MaintenanceEngine {
     /// Ablation switch: when false, dimension updates always take the
     /// conservative full-repair path instead of the targeted one.
     targeted_updates: bool,
+    /// Ablation switch: when false, root deltas always take the
+    /// row-at-a-time path instead of the vectorized chunk path.
+    vectorized: bool,
     counters: MaintCounters,
     /// Observability handle (noop until a warehouse adopts this engine).
     obs: Obs,
@@ -272,6 +280,7 @@ impl MaintenanceEngine {
             fk_index: HashMap::new(),
             dirty: HashMap::new(),
             targeted_updates: true,
+            vectorized: true,
             counters: MaintCounters::default(),
             obs: Obs::noop(),
             applied_lsn: BTreeMap::new(),
@@ -328,6 +337,14 @@ impl MaintenanceEngine {
     /// `dim_update_ablation` bench.
     pub fn set_targeted_updates(&mut self, enabled: bool) {
         self.targeted_updates = enabled;
+    }
+
+    /// Enables/disables the vectorized (chunk-at-a-time) root apply path
+    /// (enabled by default). Disabling forces row-at-a-time processing of
+    /// every root delta — the ablation knob behind the `report_columnar`
+    /// bench. Both paths produce byte-identical store images.
+    pub fn set_vectorized(&mut self, enabled: bool) {
+        self.vectorized = enabled;
     }
 
     /// Installs the fault-injection plan this engine consults at its
@@ -452,10 +469,9 @@ impl MaintenanceEngine {
             let def = store.def().clone();
             let rows: Vec<Row> = db
                 .table(table)
-                .scan()
+                .rows()
                 .filter(|row| self.row_passes_locals(&def, row).unwrap_or(false))
                 .filter(|row| self.row_passes_semijoins(&def, row))
-                .cloned()
                 .collect();
             let store = self.aux.get_mut(&table).expect("checked above");
             for row in rows {
@@ -816,6 +832,9 @@ impl MaintenanceEngine {
     }
 
     fn apply_root_changes(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
+        if self.vectorized_eligible() {
+            return self.apply_root_changes_vectorized(table, changes);
+        }
         for (i, change) in changes.iter().enumerate() {
             let applied = (|| -> Result<()> {
                 self.faults
@@ -910,40 +929,450 @@ impl MaintenanceEngine {
         if complete {
             let vgroup = vgroup.expect("set when complete");
             let args = args.expect("set when complete");
-            let outcome = if sign > 0 {
-                self.summary.apply_insert(vgroup.clone(), &args)?
-            } else {
-                self.summary.apply_delete(&vgroup, &args)?
-            };
+            self.fold_summary_occurrence(&vgroup, &args, sign, root_key)?;
+        }
+        Ok(())
+    }
 
-            // Maintain the group index (root materialized only).
-            if let Some(root_key) = root_key {
-                self.note_gi(&vgroup);
-                let entry = self.group_index.entry(vgroup.clone()).or_default();
-                let slot = entry.entry(root_key).or_insert(0);
-                *slot += sign;
-                if *slot == 0 {
-                    let zero_key: Vec<Row> = entry
-                        .iter()
-                        .filter(|(_, &c)| c == 0)
-                        .map(|(k, _)| k.clone())
-                        .collect();
-                    for k in zero_key {
-                        entry.remove(&k);
-                    }
+    /// Folds one complete joined-tuple occurrence into the summary store,
+    /// maintaining the group index, removal bookkeeping and the dirty set.
+    /// Shared verbatim by the row-at-a-time and vectorized root paths so
+    /// their summary semantics cannot drift apart.
+    fn fold_summary_occurrence(
+        &mut self,
+        vgroup: &Row,
+        args: &[Option<Value>],
+        sign: i64,
+        root_key: Option<Row>,
+    ) -> Result<()> {
+        let outcome = if sign > 0 {
+            self.summary.apply_insert(vgroup.clone(), args)?
+        } else {
+            self.summary.apply_delete(vgroup, args)?
+        };
+
+        // Maintain the group index (root materialized only).
+        if let Some(root_key) = root_key {
+            self.note_gi(vgroup);
+            let entry = self.group_index.entry(vgroup.clone()).or_default();
+            let slot = entry.entry(root_key).or_insert(0);
+            *slot += sign;
+            if *slot == 0 {
+                let zero_key: Vec<Row> = entry
+                    .iter()
+                    .filter(|(_, &c)| c == 0)
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                for k in zero_key {
+                    entry.remove(&k);
                 }
             }
+        }
 
-            if outcome.removed {
-                self.note_gi(&vgroup);
-                self.group_index.remove(&vgroup);
-                self.dirty.remove(&vgroup);
-            } else if !outcome.stale_aggs.is_empty() {
-                self.dirty
-                    .entry(vgroup)
-                    .or_default()
-                    .extend(outcome.stale_aggs);
+        if outcome.removed {
+            self.note_gi(vgroup);
+            self.group_index.remove(vgroup);
+            self.dirty.remove(vgroup);
+        } else if !outcome.stale_aggs.is_empty() {
+            self.dirty
+                .entry(vgroup.clone())
+                .or_default()
+                .extend(outcome.stale_aggs);
+        }
+        Ok(())
+    }
+
+    /// Whether root deltas can take the vectorized path: the knob is on,
+    /// the root auxiliary view is materialized, and its group key retains
+    /// everything run-level resolution needs (every root-sourced group-by
+    /// attribute and every outgoing foreign key). Real derivations always
+    /// retain these; the check guards against falling silently out of
+    /// parity with per-row resolution on exotic plans.
+    fn vectorized_eligible(&self) -> bool {
+        if !self.vectorized {
+            return false;
+        }
+        let root = self.plan.graph.root();
+        let Some(store) = self.aux.get(&root) else {
+            return false;
+        };
+        let srcs = store.group_srcs();
+        let group_ok = self
+            .plan
+            .view
+            .group_by_cols()
+            .iter()
+            .filter(|c| c.table == root)
+            .all(|c| srcs.contains(&c.column));
+        let fk_ok = self
+            .plan
+            .graph
+            .children(root)
+            .all(|edge| srcs.contains(&edge.fk_col));
+        group_ok && fk_ok
+    }
+
+    /// Chunk-at-a-time root apply: the coalesced delta batch becomes a
+    /// columnar [`md_relation::Chunk`], local conditions are evaluated as
+    /// vectorized selection bitmaps, and the surviving occurrences are
+    /// grouped into *runs* sharing one root auxiliary group key. Dimension
+    /// resolution, the semijoin test, the summary group key and the
+    /// aggregate-argument template are computed once per run instead of
+    /// once per row; each occurrence is then folded with the same store
+    /// primitives as the row path, so the committed images are identical.
+    fn apply_root_changes_vectorized(&mut self, table: TableId, changes: &[Change]) -> Result<()> {
+        let root = self.plan.graph.root();
+        // Per-change fault points fire upfront in change order. The row
+        // path interleaves them with processing, but a rejected batch is
+        // rolled back wholesale either way, so the post-rollback image
+        // and the error attribution are the same.
+        for i in 0..changes.len() {
+            self.faults
+                .hit_scoped("engine.apply.change", &self.plan.view.name)
+                .map_err(|e| self.reject(table, Some(i), e))?;
+        }
+
+        // Split updates into ± occurrences, in batch order.
+        let mut occs: Vec<(i64, &Row, usize)> = Vec::with_capacity(changes.len());
+        for (i, change) in changes.iter().enumerate() {
+            let (del, ins) = change.as_delete_insert();
+            if let Some(row) = del {
+                occs.push((-1, row, i));
             }
+            if let Some(row) = ins {
+                occs.push((1, row, i));
+            }
+        }
+        self.counters.rows_processed.add(occs.len() as u64);
+        self.counters.vectorized_rows.add(occs.len() as u64);
+
+        // Vectorized local-condition selection: the delta batch is laid
+        // out as a columnar chunk in the root's source schema and the
+        // root-local predicates are evaluated as a selection bitmap. A
+        // view without root-local predicates selects everything — no
+        // chunk needs to be materialized for an all-ones mask.
+        let locals: Vec<md_algebra::Condition> = self
+            .plan
+            .view
+            .local_conditions(root)
+            .into_iter()
+            .cloned()
+            .collect();
+        let mask = if locals.is_empty() {
+            md_relation::Bitmap::filled(occs.len(), true)
+        } else {
+            let schema = self.catalog.def(root)?.schema.clone();
+            let mut builder = ChunkBuilder::new(schema);
+            for (_, row, i) in &occs {
+                builder
+                    .push_row(row)
+                    .map_err(|e| self.reject(table, Some(*i), e.into()))?;
+            }
+            let delta = builder.finish();
+            eval_local_mask(root, &locals, &delta)
+                .map_err(|e| self.reject(table, occs.first().map(|o| o.2), e.into()))?
+        };
+
+        // Group surviving occurrences into runs by root group key, in
+        // first-appearance order; items keep batch order within a run.
+        // Occurrences are bucketed by a hash over their projected group
+        // columns so the key row is only materialized once per run.
+        let group_srcs: Vec<usize> = self
+            .aux
+            .get(&root)
+            .expect("eligibility checked")
+            .group_srcs()
+            .to_vec();
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut runs: Vec<(Row, Vec<usize>)> = Vec::new();
+        for idx in mask.iter_ones() {
+            let row = occs[idx].1;
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            for &s in &group_srcs {
+                std::hash::Hash::hash(&row[s], &mut hasher);
+            }
+            let candidates = buckets
+                .entry(std::hash::Hasher::finish(&hasher))
+                .or_default();
+            let found = candidates.iter().copied().find(|&r| {
+                let key = &runs[r].0;
+                group_srcs
+                    .iter()
+                    .enumerate()
+                    .all(|(k, &s)| key[k] == row[s])
+            });
+            let slot = match found {
+                Some(r) => r,
+                None => {
+                    runs.push((row.project(&group_srcs), Vec::new()));
+                    candidates.push(runs.len() - 1);
+                    runs.len() - 1
+                }
+            };
+            runs[slot].1.push(idx);
+        }
+
+        let group_cols = self.plan.view.group_by_cols();
+        let aggs: Vec<Aggregate> = self.plan.view.aggregates().into_iter().copied().collect();
+        // `DISTINCT` aggregate states never read their argument — they are
+        // marked stale and recomputed from the auxiliary views — so the
+        // batched path skips materializing (often string-typed) values
+        // for them. `MIN(DISTINCT)`/`MAX(DISTINCT)` fold as plain
+        // extremum states and do read theirs.
+        let arg_unused: Vec<bool> = aggs
+            .iter()
+            .map(|a| {
+                a.distinct && !matches!(a.func, md_algebra::AggFunc::Min | md_algebra::AggFunc::Max)
+            })
+            .collect();
+
+        for (key_row, items) in &runs {
+            // Everything below is constant across the run: all its
+            // occurrences share the full group key, hence all fk values.
+            let first_change = items.first().map(|&i| occs[i].2);
+            let (complete, semijoin_pass, vgroup, templates) = {
+                let store = self.aux.get(&root).expect("eligibility checked");
+                let res = resolve_from(
+                    &self.plan.graph,
+                    &self.aux,
+                    root,
+                    Binding::AuxGroup {
+                        srcs: store.group_srcs(),
+                        row: key_row,
+                    },
+                );
+                let semijoin_pass = store
+                    .def()
+                    .semijoins
+                    .iter()
+                    .all(|t| res.binding(*t).is_some());
+                if res.is_complete() {
+                    let vgroup: Row = group_cols
+                        .iter()
+                        .map(|&c| {
+                            res.value(c).cloned().ok_or_else(|| {
+                                MaintainError::InvariantViolation(format!(
+                                    "group-by attribute {} unresolved",
+                                    c.display(&self.catalog)
+                                ))
+                            })
+                        })
+                        .collect::<Result<Row>>()
+                        .map_err(|e| self.reject(table, first_change, e))?;
+                    let templates = aggs
+                        .iter()
+                        .map(|agg| match agg.arg {
+                            None => Ok(ArgTemplate::CountStar),
+                            Some(col) if col.table == root => Ok(ArgTemplate::Root(col.column)),
+                            Some(col) => res
+                                .value(col)
+                                .cloned()
+                                .map(ArgTemplate::Const)
+                                .ok_or_else(|| {
+                                    MaintainError::InvariantViolation(
+                                        "aggregate argument unresolved in complete resolution"
+                                            .into(),
+                                    )
+                                }),
+                        })
+                        .collect::<Result<Vec<ArgTemplate>>>()
+                        .map_err(|e| self.reject(table, first_change, e))?;
+                    (true, semijoin_pass, Some(vgroup), Some(templates))
+                } else {
+                    (false, semijoin_pass, None, None)
+                }
+            };
+
+            let batched = self.apply_run_batched(
+                root,
+                key_row,
+                items,
+                &occs,
+                semijoin_pass,
+                complete,
+                vgroup.as_ref(),
+                templates.as_deref(),
+                &arg_unused,
+            );
+            if let Err(err) = batched {
+                // The batched kernels write back only on success, so the
+                // summary (and, unless the failure came after the aux
+                // fold, the auxiliary store) still holds this run's
+                // pre-run state. Replay the run row-at-a-time to
+                // attribute the error to the exact failing change — the
+                // caller rolls the whole batch back afterwards either
+                // way, so the replay's store mutations are transient.
+                for &idx in items {
+                    let (sign, row, change_idx) = occs[idx];
+                    self.apply_run_occurrence(
+                        root,
+                        key_row,
+                        row,
+                        sign,
+                        semijoin_pass,
+                        complete,
+                        vgroup.as_ref(),
+                        templates.as_deref(),
+                    )
+                    .map_err(|e| self.reject(table, Some(change_idx), e))?;
+                }
+                return Err(self.reject(table, first_change, err));
+            }
+        }
+
+        self.faults
+            .hit_scoped("engine.apply.flush", &self.plan.view.name)?;
+        self.flush_dirty_groups()?;
+        Ok(())
+    }
+
+    /// Folds one run of occurrences through the batched store kernels:
+    /// one auxiliary-store pass, one summary pass, and group-index /
+    /// dirty-set bookkeeping compressed to the run's net effect. The
+    /// committed state is identical to folding each occurrence through
+    /// [`Self::apply_run_occurrence`] in order — the kernels replay
+    /// occurrences sequentially on local state, and the per-occurrence
+    /// index/dirty mutations collapse to their final values (a mid-run
+    /// group removal wipes both; tail occurrences re-accumulate).
+    #[allow(clippy::too_many_arguments)]
+    fn apply_run_batched(
+        &mut self,
+        root: TableId,
+        key_row: &Row,
+        items: &[usize],
+        occs: &[(i64, &Row, usize)],
+        semijoin_pass: bool,
+        complete: bool,
+        vgroup: Option<&Row>,
+        templates: Option<&[ArgTemplate]>,
+        arg_unused: &[bool],
+    ) -> Result<()> {
+        // Fold into the root auxiliary view: one hash probe and undo note
+        // for the whole run. Every occurrence shares the full group key,
+        // so only the net present/absent transition can affect the
+        // foreign-key index.
+        let mut root_key_material = false;
+        if semijoin_pass {
+            if let Some(store) = self.aux.get_mut(&root) {
+                let (was, now) = store
+                    .apply_source_run(key_row, items.iter().map(|&i| (occs[i].0, occs[i].1)))?;
+                if was != now {
+                    self.fk_index_update(key_row, now);
+                }
+                root_key_material = true;
+            }
+        }
+        if !complete {
+            return Ok(());
+        }
+        let vgroup = vgroup.expect("set when complete");
+        let templates = templates.expect("set when complete");
+
+        // Materialize the run's aggregate arguments and fold them in one
+        // summary pass.
+        let stride = templates.len();
+        let mut signs: Vec<i64> = Vec::with_capacity(items.len());
+        let mut args: Vec<Option<Value>> = Vec::with_capacity(items.len() * stride);
+        for &idx in items {
+            let (sign, row, _) = occs[idx];
+            signs.push(sign);
+            for (t, unused) in templates.iter().zip(arg_unused) {
+                args.push(match t {
+                    _ if *unused => None,
+                    ArgTemplate::CountStar => None,
+                    ArgTemplate::Root(c) => Some(row[*c].clone()),
+                    ArgTemplate::Const(v) => Some(v.clone()),
+                });
+            }
+        }
+        let out = self.summary.apply_run(vgroup, &signs, &args, stride)?;
+
+        // Group-index bookkeeping, compressed to the run's net effect. A
+        // removal wipes the whole entry; the tail occurrences (all
+        // carrying this run's root key) re-accumulate into one slot.
+        if root_key_material {
+            self.note_gi(vgroup);
+            if out.removed_any {
+                self.group_index.remove(vgroup);
+                if out.tail_len > 0 {
+                    let entry = self.group_index.entry(vgroup.clone()).or_default();
+                    if out.tail_sign != 0 {
+                        entry.insert(key_row.clone(), out.tail_sign);
+                    }
+                }
+            } else {
+                let entry = self.group_index.entry(vgroup.clone()).or_default();
+                let slot = entry.entry(key_row.clone()).or_insert(0);
+                *slot += out.tail_sign;
+                if *slot == 0 {
+                    entry.remove(key_row);
+                }
+            }
+        } else if out.removed_any {
+            self.note_gi(vgroup);
+            self.group_index.remove(vgroup);
+        }
+
+        // Dirty-set bookkeeping: a removal clears the group's pending
+        // marks; tail staleness re-accumulates.
+        if out.removed_any {
+            self.dirty.remove(vgroup);
+        }
+        if !out.stale_aggs.is_empty() {
+            self.dirty
+                .entry(vgroup.clone())
+                .or_default()
+                .extend(out.stale_aggs);
+        }
+        Ok(())
+    }
+
+    /// Folds one occurrence of a run with the per-row store primitives —
+    /// the row path's semantics with the run's precomputed resolution.
+    /// Used to replay a run whose batched kernels failed, attributing the
+    /// error to its exact change.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_run_occurrence(
+        &mut self,
+        root: TableId,
+        key_row: &Row,
+        row: &Row,
+        sign: i64,
+        semijoin_pass: bool,
+        complete: bool,
+        vgroup: Option<&Row>,
+        templates: Option<&[ArgTemplate]>,
+    ) -> Result<()> {
+        // Fold into the root auxiliary view.
+        let mut root_key = None;
+        if semijoin_pass {
+            if let Some(store) = self.aux.get_mut(&root) {
+                let effect = store.apply_source_row(row, sign)?;
+                match effect {
+                    crate::store::GroupEffect::Created => {
+                        self.fk_index_update(key_row, true);
+                    }
+                    crate::store::GroupEffect::Removed => {
+                        self.fk_index_update(key_row, false);
+                    }
+                    _ => {}
+                }
+                root_key = Some(key_row.clone());
+            }
+        }
+        // Fold into the summary.
+        if complete {
+            let vgroup = vgroup.expect("set when complete");
+            let templates = templates.expect("set when complete");
+            let args: Vec<Option<Value>> = templates
+                .iter()
+                .map(|t| match t {
+                    ArgTemplate::CountStar => None,
+                    ArgTemplate::Root(c) => Some(row[*c].clone()),
+                    ArgTemplate::Const(v) => Some(v.clone()),
+                })
+                .collect();
+            self.fold_summary_occurrence(vgroup, &args, sign, root_key)?;
         }
         Ok(())
     }
@@ -1636,6 +2065,18 @@ where
 {
 }
 
+/// Per-run recipe for one aggregate's argument: constant across the run
+/// except for root-sourced columns, which are read per occurrence.
+#[derive(Debug, Clone)]
+enum ArgTemplate {
+    /// `COUNT(*)` takes no argument.
+    CountStar,
+    /// The argument is this root source column of the occurrence row.
+    Root(usize),
+    /// The argument resolved from a dimension — constant across the run.
+    Const(Value),
+}
+
 /// The aggregate argument values of one joined tuple, parallel to the
 /// view's aggregate items (`None` for `COUNT(*)`).
 fn agg_args(view: &GpsjView, res: &Resolution<'_>) -> Result<Vec<Option<Value>>> {
@@ -1685,8 +2126,8 @@ fn expected_aux_rows(
         }
         Ok(true)
     };
-    for row in db.table(def.table).scan() {
-        if !env_passes(row)? {
+    for row in db.table(def.table).rows() {
+        if !env_passes(&row)? {
             continue;
         }
         let semis_ok = def.semijoins.iter().all(|target| {
@@ -1699,7 +2140,7 @@ fn expected_aux_rows(
                 .unwrap_or(false)
         });
         if semis_ok {
-            store.apply_source_row(row, 1)?;
+            store.apply_source_row(&row, 1)?;
         }
     }
     Ok(store.materialized_rows())
@@ -1712,8 +2153,8 @@ fn expected_aux_rows_inner(
     memo: &mut BTreeMap<TableId, AuxStore>,
 ) -> Result<AuxStore> {
     let mut store = AuxStore::new(def.clone(), db.catalog())?;
-    for row in db.table(def.table).scan() {
-        let env = RowEnv::single(def.table, row);
+    for row in db.table(def.table).rows() {
+        let env = RowEnv::single(def.table, &row);
         let mut ok = true;
         for cond in &def.local_conditions {
             if !cond.eval(&env).map_err(MaintainError::from)? {
@@ -1733,7 +2174,7 @@ fn expected_aux_rows_inner(
                 .unwrap_or(true)
         });
         if semis_ok {
-            store.apply_source_row(row, 1)?;
+            store.apply_source_row(&row, 1)?;
         }
     }
     Ok(store)

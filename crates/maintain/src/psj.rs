@@ -77,8 +77,8 @@ pub fn load_psj_stores(view: &GpsjView, catalog: &Catalog, db: &Database) -> Res
             .expect("one def per view table")
             .clone();
         let mut store = AuxStore::new(def.clone(), catalog)?;
-        'rows: for row in db.table(t).scan() {
-            let env: AlgebraRowEnv<'_> = AlgebraRowEnv::single(t, row);
+        'rows: for row in db.table(t).rows() {
+            let env: AlgebraRowEnv<'_> = AlgebraRowEnv::single(t, &row);
             for cond in &def.local_conditions {
                 if !cond.eval(&env).map_err(crate::error::MaintainError::from)? {
                     continue 'rows;
@@ -97,7 +97,7 @@ pub fn load_psj_stores(view: &GpsjView, catalog: &Catalog, db: &Database) -> Res
                     continue 'rows;
                 }
             }
-            store.apply_source_row(row, 1)?;
+            store.apply_source_row(&row, 1)?;
         }
         stores.push(store);
     }

@@ -227,6 +227,87 @@ impl AuxStore {
         }
     }
 
+    /// Applies a *run* of source-row occurrences that all project onto the
+    /// same group `key` in one pass: the group is hashed and undo-logged
+    /// once, the occurrences are replayed in order on a local state, and
+    /// the final state is written back. The committed image is identical
+    /// to folding each occurrence through [`Self::apply_source_row`]
+    /// individually — replay performs the same additions in the same
+    /// order, and transient create/remove cycles collapse to the same
+    /// final map and key-index entries. Returns the group's presence
+    /// before and after the run. On error nothing is written back.
+    pub fn apply_source_run<'a, I>(&mut self, key: &Row, occs: I) -> Result<(bool, bool)>
+    where
+        I: IntoIterator<Item = (i64, &'a Row)>,
+    {
+        self.note_undo(key);
+        let was_present = self.groups.contains_key(key);
+        let mut state = self.groups.get(key).cloned();
+        for (sign, row) in occs {
+            match sign {
+                1 => {
+                    let st = state.get_or_insert_with(|| AuxGroupState {
+                        sums: Vec::new(),
+                        cnt: 0,
+                    });
+                    if st.cnt == 0 {
+                        st.sums = self.sum_srcs.iter().map(|&s| row[s].clone()).collect();
+                    } else {
+                        for (slot, &s) in st.sums.iter_mut().zip(&self.sum_srcs) {
+                            *slot = slot.add(&row[s]).map_err(MaintainError::from)?;
+                        }
+                    }
+                    st.cnt += 1;
+                }
+                -1 => {
+                    let Some(st) = state.as_mut() else {
+                        return Err(MaintainError::InvariantViolation(format!(
+                            "delete of a row whose group {key} is absent from {}",
+                            self.def.name
+                        )));
+                    };
+                    if st.cnt == 0 {
+                        return Err(MaintainError::InvariantViolation(format!(
+                            "group {key} in {} already empty",
+                            self.def.name
+                        )));
+                    }
+                    st.cnt -= 1;
+                    if st.cnt == 0 {
+                        state = None;
+                    } else {
+                        for (slot, &s) in st.sums.iter_mut().zip(&self.sum_srcs) {
+                            *slot = slot.sub(&row[s]).map_err(MaintainError::from)?;
+                        }
+                    }
+                }
+                other => {
+                    return Err(MaintainError::InvariantViolation(format!(
+                        "sign must be ±1, got {other}"
+                    )))
+                }
+            }
+        }
+        let now_present = state.is_some();
+        match state {
+            Some(st) => {
+                if let Some(kp) = self.key_pos {
+                    self.key_index.insert(key[kp].clone(), key.clone());
+                }
+                self.groups.insert(key.clone(), st);
+            }
+            None => {
+                if was_present {
+                    self.groups.remove(key);
+                    if let Some(kp) = self.key_pos {
+                        self.key_index.remove(&key[kp]);
+                    }
+                }
+            }
+        }
+        Ok((was_present, now_present))
+    }
+
     /// Applies an in-place update of a source row (same key, possibly
     /// changed group or sum attributes) as delete+insert.
     pub fn apply_source_update(&mut self, old: &Row, new: &Row) -> Result<()> {

@@ -70,6 +70,26 @@ pub struct ApplyOutcome {
     pub stale_aggs: Vec<usize>,
 }
 
+/// The compressed outcome of [`SummaryStore::apply_run`]: everything the
+/// engine needs to reproduce, per run, the group-index and dirty-set
+/// bookkeeping that the sequential path performs per occurrence. Only the
+/// *final* effect matters there: a mid-run removal wipes the group's index
+/// entry and dirty marks, so only staleness and index contributions from
+/// occurrences after the last removal survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Some occurrence emptied the group (even if it was later re-created).
+    pub removed_any: bool,
+    /// Number of occurrences after the last removal (the whole run when
+    /// nothing was removed). Zero means the group ended the run absent.
+    pub tail_len: usize,
+    /// Net sign (`Σ ±1`) of those tail occurrences.
+    pub tail_sign: i64,
+    /// Sorted union of the aggregate indices marked stale by the tail
+    /// occurrences.
+    pub stale_aggs: Vec<usize>,
+}
+
 /// The materialized summary view.
 #[derive(Debug, Clone)]
 pub struct SummaryStore {
@@ -182,54 +202,7 @@ impl SummaryStore {
                 e.insert(fresh_state_for(&self.aggs, args)?)
             }
         };
-        state.hidden_cnt += 1;
-        let mut stale = Vec::new();
-        if state.hidden_cnt == 1 {
-            // First row: states already initialized from this row's values.
-            for (i, a) in state.aggs.iter().enumerate() {
-                if matches!(a, AggState::Distinct { .. }) {
-                    stale.push(i);
-                }
-            }
-            return Ok(ApplyOutcome {
-                removed: false,
-                stale_aggs: stale,
-            });
-        }
-        for (i, (agg_state, arg)) in state.aggs.iter_mut().zip(args).enumerate() {
-            match agg_state {
-                AggState::Count => {}
-                AggState::Sum(total) => {
-                    *total = total.add(required(arg)?).map_err(MaintainError::from)?;
-                }
-                AggState::Avg(total) => {
-                    *total += required(arg)?.as_double().map_err(MaintainError::from)?;
-                }
-                AggState::MinMax {
-                    func,
-                    value,
-                    stale: st,
-                } => {
-                    // SMA w.r.t. insertion: min/max of old value and input.
-                    if !*st {
-                        let v = required(arg)?;
-                        let ord = v.try_cmp(value).map_err(MaintainError::from)?;
-                        let replace = match func {
-                            AggFunc::Min => ord == Ordering::Less,
-                            AggFunc::Max => ord == Ordering::Greater,
-                            _ => unreachable!("MinMax holds only MIN/MAX"),
-                        };
-                        if replace {
-                            *value = v.clone();
-                        }
-                    }
-                }
-                AggState::Distinct { stale: st, .. } => {
-                    *st = true;
-                    stale.push(i);
-                }
-            }
-        }
+        let stale = fold_insert_into(state, args)?;
         Ok(ApplyOutcome {
             removed: false,
             stale_aggs: stale,
@@ -244,51 +217,88 @@ impl SummaryStore {
                 "delete against absent summary group {key}"
             )));
         };
-        if state.hidden_cnt == 0 {
+        let (removed, stale) = fold_delete_into(key, state, args)?;
+        if removed {
+            self.groups.remove(key);
+        }
+        Ok(ApplyOutcome {
+            removed,
+            stale_aggs: stale,
+        })
+    }
+
+    /// Applies a *run* of joined-tuple occurrences that all fold into the
+    /// same group `key` in one pass: the group is hashed and undo-logged
+    /// once, the occurrences are replayed in order on a local state, and
+    /// the final state is written back. `args` holds the aggregate
+    /// arguments of all occurrences flattened (`stride` per occurrence, in
+    /// sign order). Replay performs the same per-aggregate operations in
+    /// the same order as [`Self::apply_insert`]/[`Self::apply_delete`], so
+    /// the committed group state is identical; the per-occurrence outcomes
+    /// are compressed into a [`RunOutcome`] that carries exactly what the
+    /// caller needs to reproduce the sequential group-index and dirty-set
+    /// bookkeeping. On error nothing is written back.
+    pub fn apply_run(
+        &mut self,
+        key: &Row,
+        signs: &[i64],
+        args: &[Option<Value>],
+        stride: usize,
+    ) -> Result<RunOutcome> {
+        if stride != self.aggs.len() || args.len() != signs.len() * stride {
             return Err(MaintainError::InvariantViolation(format!(
-                "summary group {key} already empty"
+                "expected {} aggregate arguments per occurrence, got stride {} over {} values",
+                self.aggs.len(),
+                stride,
+                args.len()
             )));
         }
-        state.hidden_cnt -= 1;
-        if state.hidden_cnt == 0 {
-            self.groups.remove(key);
-            return Ok(ApplyOutcome {
-                removed: true,
-                stale_aggs: Vec::new(),
-            });
-        }
-        let mut stale = Vec::new();
-        for (i, (agg_state, arg)) in state.aggs.iter_mut().zip(args).enumerate() {
-            match agg_state {
-                AggState::Count => {}
-                AggState::Sum(total) => {
-                    *total = total.sub(required(arg)?).map_err(MaintainError::from)?;
-                }
-                AggState::Avg(total) => {
-                    *total -= required(arg)?.as_double().map_err(MaintainError::from)?;
-                }
-                AggState::MinMax {
-                    value, stale: st, ..
-                } => {
-                    // Deleting the current extremum requires recomputation
-                    // from the auxiliary views (MIN/MAX are not SMAs w.r.t.
-                    // deletion, Table 1).
-                    if !*st && required(arg)? == value {
-                        *st = true;
+        self.note_undo(key);
+        let mut state = self.groups.get(key).cloned();
+        let mut removed_any = false;
+        let mut tail_start = 0usize;
+        let mut stale: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for (i, &sign) in signs.iter().enumerate() {
+            let occ_args = &args[i * stride..(i + 1) * stride];
+            if sign > 0 {
+                let st = match state.as_mut() {
+                    Some(st) => st,
+                    None => {
+                        state = Some(fresh_state_for(&self.aggs, occ_args)?);
+                        state.as_mut().expect("just set")
                     }
-                    if *st {
-                        stale.push(i);
-                    }
-                }
-                AggState::Distinct { stale: st, .. } => {
-                    *st = true;
-                    stale.push(i);
+                };
+                stale.extend(fold_insert_into(st, occ_args)?);
+            } else {
+                let Some(st) = state.as_mut() else {
+                    return Err(MaintainError::InvariantViolation(format!(
+                        "delete against absent summary group {key}"
+                    )));
+                };
+                let (removed, occ_stale) = fold_delete_into(key, st, occ_args)?;
+                if removed {
+                    state = None;
+                    removed_any = true;
+                    tail_start = i + 1;
+                    stale.clear();
+                } else {
+                    stale.extend(occ_stale);
                 }
             }
         }
-        Ok(ApplyOutcome {
-            removed: false,
-            stale_aggs: stale,
+        match state {
+            Some(st) => {
+                self.groups.insert(key.clone(), st);
+            }
+            None => {
+                self.groups.remove(key);
+            }
+        }
+        Ok(RunOutcome {
+            removed_any,
+            tail_len: signs.len() - tail_start,
+            tail_sign: signs[tail_start..].iter().sum(),
+            stale_aggs: stale.into_iter().collect(),
         })
     }
 
@@ -426,6 +436,108 @@ impl SummaryStore {
     pub fn paper_bytes(&self) -> u64 {
         self.groups.len() as u64 * self.select.len() as u64 * Value::PAPER_FIELD_BYTES
     }
+}
+
+/// Folds one inserted occurrence into a group state, returning the
+/// aggregate indices it marked stale. Shared by the per-occurrence and
+/// run-batched apply paths so their semantics cannot drift apart.
+fn fold_insert_into(state: &mut GroupState, args: &[Option<Value>]) -> Result<Vec<usize>> {
+    state.hidden_cnt += 1;
+    let mut stale = Vec::new();
+    if state.hidden_cnt == 1 {
+        // First row: states already initialized from this row's values.
+        for (i, a) in state.aggs.iter().enumerate() {
+            if matches!(a, AggState::Distinct { .. }) {
+                stale.push(i);
+            }
+        }
+        return Ok(stale);
+    }
+    for (i, (agg_state, arg)) in state.aggs.iter_mut().zip(args).enumerate() {
+        match agg_state {
+            AggState::Count => {}
+            AggState::Sum(total) => {
+                *total = total.add(required(arg)?).map_err(MaintainError::from)?;
+            }
+            AggState::Avg(total) => {
+                *total += required(arg)?.as_double().map_err(MaintainError::from)?;
+            }
+            AggState::MinMax {
+                func,
+                value,
+                stale: st,
+            } => {
+                // SMA w.r.t. insertion: min/max of old value and input.
+                if !*st {
+                    let v = required(arg)?;
+                    let ord = v.try_cmp(value).map_err(MaintainError::from)?;
+                    let replace = match func {
+                        AggFunc::Min => ord == Ordering::Less,
+                        AggFunc::Max => ord == Ordering::Greater,
+                        _ => unreachable!("MinMax holds only MIN/MAX"),
+                    };
+                    if replace {
+                        *value = v.clone();
+                    }
+                }
+            }
+            AggState::Distinct { stale: st, .. } => {
+                *st = true;
+                stale.push(i);
+            }
+        }
+    }
+    Ok(stale)
+}
+
+/// Folds one deleted occurrence into a group state. Returns `(true, _)`
+/// when the group emptied (the caller removes it) and the stale aggregate
+/// indices otherwise. Shared by the per-occurrence and run-batched apply
+/// paths.
+fn fold_delete_into(
+    key: &Row,
+    state: &mut GroupState,
+    args: &[Option<Value>],
+) -> Result<(bool, Vec<usize>)> {
+    if state.hidden_cnt == 0 {
+        return Err(MaintainError::InvariantViolation(format!(
+            "summary group {key} already empty"
+        )));
+    }
+    state.hidden_cnt -= 1;
+    if state.hidden_cnt == 0 {
+        return Ok((true, Vec::new()));
+    }
+    let mut stale = Vec::new();
+    for (i, (agg_state, arg)) in state.aggs.iter_mut().zip(args).enumerate() {
+        match agg_state {
+            AggState::Count => {}
+            AggState::Sum(total) => {
+                *total = total.sub(required(arg)?).map_err(MaintainError::from)?;
+            }
+            AggState::Avg(total) => {
+                *total -= required(arg)?.as_double().map_err(MaintainError::from)?;
+            }
+            AggState::MinMax {
+                value, stale: st, ..
+            } => {
+                // Deleting the current extremum requires recomputation
+                // from the auxiliary views (MIN/MAX are not SMAs w.r.t.
+                // deletion, Table 1).
+                if !*st && required(arg)? == value {
+                    *st = true;
+                }
+                if *st {
+                    stale.push(i);
+                }
+            }
+            AggState::Distinct { stale: st, .. } => {
+                *st = true;
+                stale.push(i);
+            }
+        }
+    }
+    Ok((false, stale))
 }
 
 /// Builds the initial aggregate states for a brand-new group from the first

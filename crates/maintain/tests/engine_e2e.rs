@@ -647,6 +647,74 @@ fn fact_update_crossing_a_local_condition() {
 }
 
 #[test]
+fn vectorized_root_apply_matches_row_path_image() {
+    // The chunk-at-a-time root apply path must produce summary and
+    // auxiliary stores identical to the row-at-a-time path on the same
+    // batched change stream — including hot batches where many changes
+    // hit the same auxiliary group (the run-amortized case), batches that
+    // create and remove groups transiently, and filtered rows.
+    let mut s_vec = star(false);
+    let mut s_row = star(false);
+    let view = product_sales(&s_vec);
+    let mut vectorized = engine_for(&s_vec, &view);
+    let mut row_path = engine_for(&s_row, &view);
+    row_path.set_vectorized(false);
+
+    type Op = fn(&mut Database, TableId) -> Change;
+    let batches: Vec<Vec<Op>> = vec![
+        // Hot batch: every insert lands in the (timeid=1, productid=10) run.
+        vec![
+            |db, sale| db.insert(sale, row![800, 1, 10, 2.0]).unwrap(),
+            |db, sale| db.insert(sale, row![801, 1, 10, 2.0]).unwrap(),
+            |db, sale| db.insert(sale, row![802, 1, 10, 4.5]).unwrap(),
+            |db, sale| db.insert(sale, row![803, 1, 10, 4.5]).unwrap(),
+            |db, sale| db.insert(sale, row![804, 1, 10, 2.0]).unwrap(),
+        ],
+        // Mixed batch across runs plus an update splitting into del+ins.
+        vec![
+            |db, sale| db.insert(sale, row![900, 2, 11, 6.0]).unwrap(),
+            |db, sale| db.insert(sale, row![901, 1, 11, 1.5]).unwrap(),
+            |db, sale| {
+                db.update(sale, &Value::Int(800), row![800, 2, 10, 2.0])
+                    .unwrap()
+            },
+            |db, sale| db.insert(sale, row![902, 2, 10, 3.25]).unwrap(),
+        ],
+        // Filtered rows (1996) interleaved with qualifying deletes —
+        // including a transient group removal (month-2 drains and refills).
+        vec![
+            |db, sale| db.insert(sale, row![910, 3, 10, 77.0]).unwrap(),
+            |db, sale| db.delete(sale, &Value::Int(900)).unwrap(),
+            |db, sale| db.delete(sale, &Value::Int(103)).unwrap(),
+            |db, sale| db.delete(sale, &Value::Int(800)).unwrap(),
+            |db, sale| db.delete(sale, &Value::Int(902)).unwrap(),
+            |db, sale| db.insert(sale, row![911, 2, 11, 9.0]).unwrap(),
+        ],
+    ];
+    for (bi, batch) in batches.iter().enumerate() {
+        let vec_changes: Vec<Change> = batch
+            .iter()
+            .map(|op| op(&mut s_vec.db, s_vec.sale))
+            .collect();
+        let row_changes: Vec<Change> = batch
+            .iter()
+            .map(|op| op(&mut s_row.db, s_row.sale))
+            .collect();
+        vectorized.apply(s_vec.sale, &vec_changes).unwrap();
+        row_path.apply(s_row.sale, &row_changes).unwrap();
+        assert!(vectorized.verify_against(&s_vec.db).unwrap());
+        assert!(row_path.verify_against(&s_row.db).unwrap());
+        assert_eq!(
+            vectorized.summary_bag().unwrap(),
+            row_path.summary_bag().unwrap(),
+            "summary diverged after batch {bi}"
+        );
+    }
+    assert!(vectorized.verify_aux_against(&s_vec.db).unwrap());
+    assert!(row_path.verify_aux_against(&s_row.db).unwrap());
+}
+
+#[test]
 fn snowflake_inner_dimension_update_repairs_from_aux() {
     // sale -> product -> category with category.name in the group-by; a
     // category rename is a non-direct-child update, handled by the

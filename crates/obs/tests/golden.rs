@@ -42,10 +42,14 @@ fn fixed_registry() -> MetricsRegistry {
         .add(1200);
     reg.counter("maintain.rows_processed", &[("summary", "store_revenue")])
         .add(340);
+    reg.counter("maintain.vectorized_rows", &[("summary", "product_sales")])
+        .add(1088);
     reg.counter("sched.batches_applied", &[]).add(12);
     reg.gauge("aux.rows_after_compression", &[]).set(4821);
     reg.gauge("deadletter.depth", &[]).set(0);
     reg.gauge("obs.balance", &[]).set(-3);
+    reg.gauge("relation.chunk_count", &[]).set(7);
+    reg.gauge("relation.chunk_fill", &[]).set(93);
     let prepare = reg.histogram("maintain.prepare_nanos", &[("summary", "product_sales")]);
     for v in [0, 1, 2, 4, 1023, 1024, 65_536] {
         prepare.observe(v);

@@ -322,7 +322,7 @@ impl Database {
         if self.enforce_ri {
             for fk in self.catalog.foreign_keys_to(table) {
                 let referenced = self.tables[fk.from.0]
-                    .scan()
+                    .rows()
                     .any(|r| &r[fk.from_col] == key);
                 if referenced {
                     return Err(self.ri_error(
@@ -404,7 +404,7 @@ impl Database {
     /// after bulk loads with enforcement disabled.
     pub fn validate_ri(&self) -> Result<()> {
         for fk in self.catalog.foreign_keys() {
-            for row in self.tables[fk.from.0].scan() {
+            for row in self.tables[fk.from.0].rows() {
                 let v = &row[fk.from_col];
                 if !self.tables[fk.to.0].contains_key(v) {
                     return Err(self.ri_error(fk, format!("dangling reference {v}")));

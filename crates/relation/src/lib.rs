@@ -23,6 +23,7 @@
 
 pub mod bag;
 pub mod catalog;
+pub mod chunk;
 pub mod codec;
 pub mod delta;
 pub mod error;
@@ -33,10 +34,11 @@ pub mod value;
 
 pub use bag::Bag;
 pub use catalog::{Catalog, Database, ForeignKey, TableDef, TableId};
+pub use chunk::{Bitmap, Chunk, ChunkBuilder, Column as ChunkColumn, ColumnData};
 pub use codec::{crc32, Decoder, Encoder};
 pub use delta::{Change, Delta};
 pub use error::{RelationError, Result};
 pub use row::Row;
 pub use schema::{Column, Schema};
-pub use table::BaseTable;
-pub use value::{DataType, Value};
+pub use table::{BaseTable, DEFAULT_CHUNK_ROWS};
+pub use value::{total_cmp_nan_last, DataType, Value};

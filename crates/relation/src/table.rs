@@ -1,27 +1,48 @@
-//! Base tables with single-attribute keys.
+//! Base tables with single-attribute keys, stored columnar.
 //!
-//! A [`BaseTable`] stores rows in insertion order with a hash index on the
+//! A [`BaseTable`] stores rows as per-attribute typed columns (the
+//! [`crate::chunk`] layout) with a tombstone bitmap and a hash index on the
 //! key column (the paper assumes every base table has a single-attribute
 //! key, Section 2.1). Mutations return [`Change`] records so a warehouse can
 //! consume the change stream without re-reading the source — which is the
 //! whole point of the paper's setting: the sources may be inaccessible.
+//!
+//! The columnar surface ([`BaseTable::chunks`], [`BaseTable::append_chunk`],
+//! [`BaseTable::delete_by_mask`]) is the primary API; [`BaseTable::rows`]
+//! materializes owned rows for the REPL/codec/oracle compatibility paths.
+//! Deletions tombstone their slot and the store compacts itself once dead
+//! slots dominate, so hot-row churn cannot grow the arrays without bound.
 
 use std::collections::HashMap;
 
+use crate::chunk::{Bitmap, Chunk, ChunkBuilder, ColumnData};
 use crate::delta::Change;
 use crate::error::{RelationError, Result};
 use crate::row::Row;
 use crate::schema::Schema;
 use crate::value::Value;
 
-/// A mutable base table.
+/// Compact when at least this many slots are dead …
+const COMPACT_MIN_DEAD: usize = 64;
+
+/// Default row capacity of one emitted [`Chunk`].
+pub const DEFAULT_CHUNK_ROWS: usize = 4096;
+
+/// A mutable base table over columnar storage.
 #[derive(Debug, Clone)]
 pub struct BaseTable {
     name: String,
     schema: Schema,
     key_col: usize,
-    rows: Vec<Row>,
-    /// key value -> index into `rows`
+    /// Slot-aligned typed columns; `Str` columns carry a growing
+    /// table-level dictionary (chunks re-encode their own on emission).
+    cols: Vec<ColumnData>,
+    /// Dictionary interners, parallel to `cols` (empty for non-`Str`).
+    interners: Vec<HashMap<String, u32>>,
+    /// Live bit per slot; cleared slots are tombstones awaiting compaction.
+    live: Bitmap,
+    dead: usize,
+    /// key value -> slot index
     index: HashMap<Value, usize>,
 }
 
@@ -35,11 +56,20 @@ impl BaseTable {
                 schema.arity()
             )));
         }
+        let cols = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnData::empty(c.dtype))
+            .collect();
+        let interners = vec![HashMap::new(); schema.arity()];
         Ok(BaseTable {
             name,
             schema,
             key_col,
-            rows: Vec::new(),
+            cols,
+            interners,
+            live: Bitmap::new(),
+            dead: 0,
             index: HashMap::new(),
         })
     }
@@ -59,24 +89,118 @@ impl BaseTable {
         self.key_col
     }
 
-    /// Number of rows.
+    /// Number of live rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.live.len() - self.dead
     }
 
     /// Returns `true` when the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
-    /// Iterates over all rows in unspecified order.
-    pub fn scan(&self) -> impl Iterator<Item = &Row> {
-        self.rows.iter()
+    /// Physical slots currently allocated (live + tombstoned). The fill
+    /// ratio `len() / slots()` is what `relation.chunk_fill` reports.
+    pub fn slots(&self) -> usize {
+        self.live.len()
     }
 
-    /// Looks up a row by key value.
-    pub fn get(&self, key: &Value) -> Option<&Row> {
-        self.index.get(key).map(|&i| &self.rows[i])
+    fn value_at(&self, slot: usize, col: usize) -> Value {
+        match &self.cols[col] {
+            ColumnData::Int(v) => Value::Int(v[slot]),
+            ColumnData::Double(v) => Value::Double(v[slot]),
+            ColumnData::Str { dict, codes } => Value::Str(dict[codes[slot] as usize].clone()),
+            ColumnData::Bool(v) => Value::Bool(v[slot]),
+        }
+    }
+
+    fn row_at(&self, slot: usize) -> Row {
+        Row::new(
+            (0..self.schema.arity())
+                .map(|c| self.value_at(slot, c))
+                .collect(),
+        )
+    }
+
+    fn push_cell(&mut self, col: usize, value: &Value) {
+        match (&mut self.cols[col], value) {
+            (ColumnData::Int(v), Value::Int(x)) => v.push(*x),
+            (ColumnData::Double(v), Value::Double(x)) => v.push(*x),
+            (ColumnData::Str { dict, codes }, Value::Str(s)) => {
+                let code = match self.interners[col].get(s) {
+                    Some(&code) => code,
+                    None => {
+                        let code = dict.len() as u32;
+                        dict.push(s.clone());
+                        self.interners[col].insert(s.clone(), code);
+                        code
+                    }
+                };
+                codes.push(code);
+            }
+            (ColumnData::Bool(v), Value::Bool(x)) => v.push(*x),
+            _ => unreachable!("row was schema-checked"),
+        }
+    }
+
+    fn set_cell(&mut self, slot: usize, col: usize, value: &Value) {
+        match (&mut self.cols[col], value) {
+            (ColumnData::Int(v), Value::Int(x)) => v[slot] = *x,
+            (ColumnData::Double(v), Value::Double(x)) => v[slot] = *x,
+            (ColumnData::Str { dict, codes }, Value::Str(s)) => {
+                let code = match self.interners[col].get(s) {
+                    Some(&code) => code,
+                    None => {
+                        let code = dict.len() as u32;
+                        dict.push(s.clone());
+                        self.interners[col].insert(s.clone(), code);
+                        code
+                    }
+                };
+                codes[slot] = code;
+            }
+            (ColumnData::Bool(v), Value::Bool(x)) => v[slot] = *x,
+            _ => unreachable!("row was schema-checked"),
+        }
+    }
+
+    /// Iterates over all live rows (materialized) in slot order.
+    pub fn rows(&self) -> impl Iterator<Item = Row> + '_ {
+        self.live.iter_ones().map(|slot| self.row_at(slot))
+    }
+
+    /// Deprecated alias of [`BaseTable::rows`], kept for the PR 2/PR 5
+    /// migration style: prefer [`BaseTable::chunks`] on hot paths and
+    /// [`BaseTable::rows`] where single rows are genuinely needed.
+    pub fn scan(&self) -> impl Iterator<Item = Row> + '_ {
+        self.rows()
+    }
+
+    /// Emits the live contents as columnar [`Chunk`]s of at most
+    /// `target_rows` rows each. Every chunk carries its own (freshly
+    /// rolled) string dictionaries and no validity bitmaps — base tables
+    /// are null-free.
+    pub fn chunks(&self, target_rows: usize) -> Result<Vec<Chunk>> {
+        let target = target_rows.max(1);
+        let mut out = Vec::new();
+        let mut b = ChunkBuilder::new(self.schema.clone());
+        for row in self.rows() {
+            b.push_row(&row)?;
+            if b.len() >= target {
+                out.push(
+                    std::mem::replace(&mut b, ChunkBuilder::new(self.schema.clone())).finish(),
+                );
+            }
+        }
+        if !b.is_empty() || out.is_empty() {
+            out.push(b.finish());
+        }
+        Ok(out)
+    }
+
+    /// Looks up a row by key value, materializing it.
+    pub fn get(&self, key: &Value) -> Option<Row> {
+        self.index.get(key).map(|&slot| self.row_at(slot))
     }
 
     /// Returns `true` if a row with this key exists.
@@ -94,31 +218,75 @@ impl BaseTable {
                 key,
             });
         }
-        self.index.insert(key, self.rows.len());
-        self.rows.push(row.clone());
+        let slot = self.live.len();
+        for (c, value) in row.values().iter().enumerate() {
+            self.push_cell(c, value);
+        }
+        self.live.push(true);
+        self.index.insert(key, slot);
         Ok(Change::Insert(row))
     }
 
-    /// Deletes the row with the given key, returning the change.
-    pub fn delete(&mut self, key: &Value) -> Result<Change> {
-        let idx = *self
+    /// Appends every row of a columnar chunk, enforcing schema and key
+    /// uniqueness per row; returns the change per appended row. Fails on
+    /// the first offending row, leaving the prefix inserted.
+    pub fn append_chunk(&mut self, chunk: &Chunk) -> Result<Vec<Change>> {
+        let mut changes = Vec::with_capacity(chunk.len());
+        for row in chunk.iter_rows() {
+            changes.push(self.insert(row?)?);
+        }
+        Ok(changes)
+    }
+
+    fn tombstone(&mut self, key: &Value) -> Result<Change> {
+        let slot = *self
             .index
             .get(key)
             .ok_or_else(|| RelationError::KeyNotFound {
                 table: self.name.clone(),
                 key: key.clone(),
             })?;
+        let removed = self.row_at(slot);
         self.index.remove(key);
-        let removed = self.rows.swap_remove(idx);
-        // Fix up the index entry of the row that was swapped into `idx`.
-        if idx < self.rows.len() {
-            let moved_key = self.rows[idx][self.key_col].clone();
-            self.index.insert(moved_key, idx);
-        }
+        self.live.set(slot, false);
+        self.dead += 1;
         Ok(Change::Delete(removed))
     }
 
-    /// Replaces the row with key `key` by `new_row`.
+    /// Deletes the row with the given key, returning the change.
+    pub fn delete(&mut self, key: &Value) -> Result<Change> {
+        let change = self.tombstone(key)?;
+        self.maybe_compact();
+        Ok(change)
+    }
+
+    /// Deletes every live row whose bit is set in `mask`, which indexes
+    /// the [`BaseTable::rows`] enumeration (live rows in slot order).
+    /// Returns one delete change per removed row, in that order.
+    pub fn delete_by_mask(&mut self, mask: &Bitmap) -> Result<Vec<Change>> {
+        if mask.len() != self.len() {
+            return Err(RelationError::Invalid(format!(
+                "delete mask length {} != live row count {}",
+                mask.len(),
+                self.len()
+            )));
+        }
+        let keys: Vec<Value> = self
+            .live
+            .iter_ones()
+            .enumerate()
+            .filter(|(i, _)| mask.get(*i))
+            .map(|(_, slot)| self.value_at(slot, self.key_col))
+            .collect();
+        let mut changes = Vec::with_capacity(keys.len());
+        for key in keys {
+            changes.push(self.tombstone(&key)?);
+        }
+        self.maybe_compact();
+        Ok(changes)
+    }
+
+    /// Replaces the row with key `key` by `new_row`, in place.
     ///
     /// The new row must keep the same key value — key updates must be issued
     /// as an explicit delete followed by an insert, mirroring how the paper
@@ -132,25 +300,88 @@ impl BaseTable {
                 self.name, new_row[self.key_col]
             )));
         }
-        let idx = *self
+        let slot = *self
             .index
             .get(key)
             .ok_or_else(|| RelationError::KeyNotFound {
                 table: self.name.clone(),
                 key: key.clone(),
             })?;
-        let old = std::mem::replace(&mut self.rows[idx], new_row.clone());
+        let old = self.row_at(slot);
+        for (c, value) in new_row.values().iter().enumerate() {
+            self.set_cell(slot, c, value);
+        }
         Ok(Change::Update { old, new: new_row })
+    }
+
+    /// Rewrites the columns with live slots only once tombstones dominate,
+    /// re-interning string dictionaries from scratch so dictionaries of
+    /// long-churning tables do not accumulate dead entries.
+    fn maybe_compact(&mut self) {
+        if self.dead < COMPACT_MIN_DEAD || self.dead * 2 < self.live.len() {
+            return;
+        }
+        let mut cols: Vec<ColumnData> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| ColumnData::empty(c.dtype))
+            .collect();
+        let mut interners = vec![HashMap::new(); self.schema.arity()];
+        let mut index = HashMap::with_capacity(self.index.len());
+        let mut next = 0usize;
+        for slot in self.live.iter_ones() {
+            for c in 0..self.schema.arity() {
+                let value = self.value_at(slot, c);
+                match (&mut cols[c], value) {
+                    (ColumnData::Int(v), Value::Int(x)) => v.push(x),
+                    (ColumnData::Double(v), Value::Double(x)) => v.push(x),
+                    (ColumnData::Str { dict, codes }, Value::Str(s)) => {
+                        let interner: &mut HashMap<String, u32> = &mut interners[c];
+                        let code = match interner.get(&s) {
+                            Some(&code) => code,
+                            None => {
+                                let code = dict.len() as u32;
+                                dict.push(s.clone());
+                                interner.insert(s, code);
+                                code
+                            }
+                        };
+                        codes.push(code);
+                    }
+                    (ColumnData::Bool(v), Value::Bool(x)) => v.push(x),
+                    _ => unreachable!("storage is schema-typed"),
+                }
+            }
+            index.insert(self.value_at(slot, self.key_col), next);
+            next += 1;
+        }
+        self.cols = cols;
+        self.interners = interners;
+        self.live = Bitmap::filled(next, true);
+        self.dead = 0;
+        self.index = index;
     }
 
     /// Estimated storage in the *paper's* model: `rows × fields × 4 bytes`.
     pub fn paper_bytes(&self) -> u64 {
-        self.rows.len() as u64 * self.schema.arity() as u64 * Value::PAPER_FIELD_BYTES
+        self.len() as u64 * self.schema.arity() as u64 * Value::PAPER_FIELD_BYTES
     }
 
-    /// Estimated actual in-memory footprint.
+    /// Estimated actual in-memory footprint of the columnar storage.
     pub fn heap_bytes(&self) -> u64 {
-        self.rows.iter().map(Row::heap_bytes).sum()
+        let slots = self.slots() as u64;
+        let mut bytes = slots.div_ceil(8); // live bitmap
+        for col in &self.cols {
+            bytes += match col {
+                ColumnData::Int(_) | ColumnData::Double(_) => slots * 8,
+                ColumnData::Bool(_) => slots,
+                ColumnData::Str { dict, .. } => {
+                    slots * 4 + dict.iter().map(|s| s.capacity() as u64 + 24).sum::<u64>()
+                }
+            };
+        }
+        bytes
     }
 }
 
@@ -181,7 +412,7 @@ mod tests {
         t.insert(row![1, "acme", "food"]).unwrap();
         t.insert(row![2, "zeta", "drink"]).unwrap();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.get(&Value::Int(1)), Some(&row![1, "acme", "food"]));
+        assert_eq!(t.get(&Value::Int(1)), Some(row![1, "acme", "food"]));
         assert!(t.contains_key(&Value::Int(2)));
         assert!(!t.contains_key(&Value::Int(3)));
     }
@@ -203,16 +434,15 @@ mod tests {
     }
 
     #[test]
-    fn delete_returns_old_row_and_fixes_index() {
+    fn delete_returns_old_row_and_keeps_lookups() {
         let mut t = product_table();
         t.insert(row![1, "a", "x"]).unwrap();
         t.insert(row![2, "b", "y"]).unwrap();
         t.insert(row![3, "c", "z"]).unwrap();
         let c = t.delete(&Value::Int(1)).unwrap();
         assert_eq!(c, Change::Delete(row![1, "a", "x"]));
-        // swap_remove moved row 3 into slot 0; it must still be findable.
-        assert_eq!(t.get(&Value::Int(3)), Some(&row![3, "c", "z"]));
-        assert_eq!(t.get(&Value::Int(2)), Some(&row![2, "b", "y"]));
+        assert_eq!(t.get(&Value::Int(3)), Some(row![3, "c", "z"]));
+        assert_eq!(t.get(&Value::Int(2)), Some(row![2, "b", "y"]));
         assert_eq!(t.len(), 2);
     }
 
@@ -237,7 +467,7 @@ mod tests {
                 new: row![1, "a2", "x"]
             }
         );
-        assert_eq!(t.get(&Value::Int(1)), Some(&row![1, "a2", "x"]));
+        assert_eq!(t.get(&Value::Int(1)), Some(row![1, "a2", "x"]));
     }
 
     #[test]
@@ -260,5 +490,78 @@ mod tests {
         t.insert(row![2, "b", "y"]).unwrap();
         // 2 rows × 3 fields × 4 bytes
         assert_eq!(t.paper_bytes(), 24);
+    }
+
+    #[test]
+    fn chunks_emit_live_rows_with_rolled_dictionaries() {
+        let mut t = product_table();
+        for i in 0..10 {
+            t.insert(row![i, format!("b{}", i % 2), "x"]).unwrap();
+        }
+        t.delete(&Value::Int(4)).unwrap();
+        let chunks = t.chunks(4).unwrap();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks.iter().map(Chunk::len).sum::<usize>(), 9);
+        // Each chunk's dictionary holds only its own strings.
+        let (dict, _) = chunks[0].column(1).as_str_dict().unwrap();
+        assert!(dict.len() <= 2);
+        let all: Vec<Row> = chunks
+            .iter()
+            .flat_map(|c| c.iter_rows())
+            .collect::<crate::error::Result<_>>()
+            .unwrap();
+        assert_eq!(all.len(), 9);
+        assert!(!all.contains(&row![4, "b0", "x"]));
+    }
+
+    #[test]
+    fn append_chunk_batch_inserts() {
+        let mut t = product_table();
+        let chunk =
+            Chunk::from_rows(t.schema().clone(), &[row![1, "a", "x"], row![2, "b", "y"]]).unwrap();
+        let changes = t.append_chunk(&chunk).unwrap();
+        assert_eq!(changes.len(), 2);
+        assert_eq!(t.len(), 2);
+        // Duplicate keys fail partway through.
+        assert!(t.append_chunk(&chunk).is_err());
+    }
+
+    #[test]
+    fn delete_by_mask_removes_masked_rows() {
+        let mut t = product_table();
+        for i in 0..5 {
+            t.insert(row![i, "a", "x"]).unwrap();
+        }
+        let mut mask = Bitmap::filled(5, false);
+        mask.set(1, true);
+        mask.set(3, true);
+        let changes = t.delete_by_mask(&mask).unwrap();
+        assert_eq!(changes.len(), 2);
+        assert_eq!(t.len(), 3);
+        assert!(!t.contains_key(&Value::Int(1)));
+        assert!(!t.contains_key(&Value::Int(3)));
+        assert!(t.contains_key(&Value::Int(2)));
+        // Mask length must match the live row count.
+        assert!(t.delete_by_mask(&Bitmap::filled(5, false)).is_err());
+    }
+
+    #[test]
+    fn churn_triggers_compaction_and_preserves_contents() {
+        let mut t = product_table();
+        for i in 0..200 {
+            t.insert(row![i, format!("b{i}"), "x"]).unwrap();
+        }
+        for i in 0..150 {
+            t.delete(&Value::Int(i)).unwrap();
+        }
+        // Compaction must have rewritten the store densely.
+        assert!(t.slots() < 200);
+        assert_eq!(t.len(), 50);
+        for i in 150..200 {
+            assert_eq!(t.get(&Value::Int(i)), Some(row![i, format!("b{i}"), "x"]));
+        }
+        // Inserts keep working against the compacted store.
+        t.insert(row![500, "new", "x"]).unwrap();
+        assert_eq!(t.get(&Value::Int(500)), Some(row![500, "new", "x"]));
     }
 }

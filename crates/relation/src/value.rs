@@ -190,13 +190,20 @@ impl Value {
 
     /// Comparison that fails on cross-type comparisons between
     /// non-numeric types instead of silently ordering by variant.
+    ///
+    /// Doubles compare NaN-last (see [`total_cmp_nan_last`]): every NaN
+    /// orders after every number, so `MIN`/`MAX` folds treat NaN as the
+    /// largest value regardless of its sign bit. Under plain
+    /// [`f64::total_cmp`] a negative NaN sorts *below* `-inf`, which would
+    /// let a columnar fold (one order) and the row-at-a-time oracle
+    /// (another order) disagree on pathological floats.
     pub fn try_cmp(&self, other: &Value) -> Result<Ordering> {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
             (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
             (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
             (a, b) if a.data_type().is_numeric() && b.data_type().is_numeric() => {
-                Ok(a.as_double()?.total_cmp(&b.as_double()?))
+                Ok(total_cmp_nan_last(a.as_double()?, b.as_double()?))
             }
             (a, b) => Err(RelationError::Incomparable {
                 left: a.data_type(),
@@ -261,11 +268,25 @@ impl Ord for Value {
         }
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
-            (Value::Double(a), Value::Double(b)) => a.total_cmp(b),
+            (Value::Double(a), Value::Double(b)) => total_cmp_nan_last(*a, *b),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (a, b) => tag(a).cmp(&tag(b)),
         }
+    }
+}
+
+/// Total order over `f64` with *every* NaN ordered after every number:
+/// `-inf < … < +inf < NaN` (NaNs among themselves order by
+/// [`f64::total_cmp`], keeping the order total and [`Value`]'s bitwise
+/// equality consistent). This is the comparison behind [`Value::try_cmp`]
+/// and both the row-at-a-time and columnar MIN/MAX fold kernels, so the
+/// two engines cannot diverge on pathological floats.
+pub fn total_cmp_nan_last(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) | (true, true) => a.total_cmp(&b),
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
     }
 }
 
@@ -432,6 +453,58 @@ mod tests {
     fn double_equality_is_bitwise() {
         assert_eq!(Value::Double(f64::NAN), Value::Double(f64::NAN));
         assert_ne!(Value::Double(0.0), Value::Double(-0.0));
+    }
+
+    #[test]
+    fn nan_orders_after_every_number() {
+        // Regression pin for the NaN-last total order: under raw
+        // `f64::total_cmp` a negative NaN sorts *below* -inf, which made a
+        // MIN fold report NaN as the minimum of {-inf, -NaN}. Every NaN
+        // must order after every number, so MIN({1.0, NaN}) = 1.0 and
+        // MAX({1.0, NaN}) = NaN, in both engines.
+        let nan = Value::Double(f64::NAN);
+        let neg_nan = Value::Double(-f64::NAN);
+        assert_eq!(
+            nan.try_cmp(&Value::Double(f64::INFINITY)).unwrap(),
+            Ordering::Greater
+        );
+        assert_eq!(
+            neg_nan.try_cmp(&Value::Double(f64::NEG_INFINITY)).unwrap(),
+            Ordering::Greater
+        );
+        assert_eq!(nan.try_cmp(&Value::Int(1)).unwrap(), Ordering::Greater);
+        assert_eq!(Value::Double(1.0).try_cmp(&nan).unwrap(), Ordering::Less);
+        assert_eq!(
+            total_cmp_nan_last(-f64::NAN, f64::NEG_INFINITY),
+            Ordering::Greater
+        );
+
+        // A MIN/MAX fold via try_cmp lands on 1.0 / NaN respectively.
+        let vals = [Value::Double(1.0), Value::Double(f64::NAN)];
+        let min = vals
+            .iter()
+            .cloned()
+            .reduce(|a, b| {
+                if b.try_cmp(&a).unwrap() == Ordering::Less {
+                    b
+                } else {
+                    a
+                }
+            })
+            .unwrap();
+        let max = vals
+            .iter()
+            .cloned()
+            .reduce(|a, b| {
+                if b.try_cmp(&a).unwrap() == Ordering::Greater {
+                    b
+                } else {
+                    a
+                }
+            })
+            .unwrap();
+        assert_eq!(min, Value::Double(1.0));
+        assert!(matches!(max, Value::Double(d) if d.is_nan()));
     }
 
     #[test]

@@ -245,6 +245,12 @@ struct SchedCounters {
     repair_reinstated: Counter,
     /// Repair attempts that failed (the summary stays quarantined).
     repair_failed: Counter,
+    /// Columnar chunks the source tables' live rows occupy at the default
+    /// chunk capacity (refreshed by [`Warehouse::observe_relation`]).
+    chunk_count: Gauge,
+    /// Live-slot fill of the columnar stores as a percentage — 100 until
+    /// tombstones accumulate (refreshed by [`Warehouse::observe_relation`]).
+    chunk_fill: Gauge,
 }
 
 impl SchedCounters {
@@ -268,6 +274,8 @@ impl SchedCounters {
             repair_rebuilt_rows: obs.counter("repair.rebuilt_rows", &[]),
             repair_reinstated: obs.counter("repair.reinstated", &[]),
             repair_failed: obs.counter("repair.failed", &[]),
+            chunk_count: obs.gauge("relation.chunk_count", &[]),
+            chunk_fill: obs.gauge("relation.chunk_fill", &[]),
         }
     }
 
@@ -302,6 +310,7 @@ pub struct WarehouseBuilder {
     wal: bool,
     faults: FaultPlan,
     targeted_updates: bool,
+    vectorized: bool,
     workers: usize,
     coalesce: bool,
     strict: bool,
@@ -320,6 +329,7 @@ impl Default for WarehouseBuilder {
             wal: true,
             faults: FaultPlan::default(),
             targeted_updates: true,
+            vectorized: true,
             workers: 1,
             coalesce: true,
             strict: false,
@@ -360,6 +370,16 @@ impl WarehouseBuilder {
     /// `dim_update_ablation` knob; enabled by default).
     pub fn targeted_updates(mut self, enabled: bool) -> Self {
         self.targeted_updates = enabled;
+        self
+    }
+
+    /// Enables/disables the vectorized chunk-at-a-time root apply path in
+    /// every registered engine (the `report_columnar` ablation knob;
+    /// enabled by default). Both settings produce byte-identical
+    /// warehouse images — the knob trades per-row dimension resolution
+    /// for per-run amortization over coalesced delta chunks.
+    pub fn vectorized(mut self, enabled: bool) -> Self {
+        self.vectorized = enabled;
         self
     }
 
@@ -516,6 +536,7 @@ impl WarehouseBuilder {
             let mut engine = MaintenanceEngine::restore(plan, catalog, &image)?;
             engine.set_fault_plan(wh.config.faults.clone());
             engine.set_targeted_updates(wh.config.targeted_updates);
+            engine.set_vectorized(wh.config.vectorized);
             engine.set_obs(wh.obs.clone());
             wh.engines.insert(name, engine);
         }
@@ -784,6 +805,30 @@ impl Warehouse {
         self.obs.set_tracing(enabled);
     }
 
+    /// Refreshes the relation-layer gauges from the source database:
+    /// `relation.chunk_count` (chunks the live rows occupy at
+    /// [`md_relation::DEFAULT_CHUNK_ROWS`] capacity, at least one per
+    /// table) and `relation.chunk_fill` (live slots as a percentage of
+    /// physical slots — tombstones awaiting compaction lower it).
+    ///
+    /// The warehouse does not own the sources (the paper's premise is
+    /// that it cannot re-read them), so the caller passes the database it
+    /// mirrors changes from; the REPL does this on every `\metrics`.
+    pub fn observe_relation(&self, db: &Database) {
+        let mut chunks = 0usize;
+        let mut live = 0usize;
+        let mut slots = 0usize;
+        for id in db.catalog().table_ids() {
+            let t = db.table(id);
+            chunks += t.len().div_ceil(md_relation::DEFAULT_CHUNK_ROWS).max(1);
+            live += t.len();
+            slots += t.slots();
+        }
+        self.sched.chunk_count.set(chunks as i64);
+        let fill = (live * 100).checked_div(slots).unwrap_or(100) as i64;
+        self.sched.chunk_fill.set(fill);
+    }
+
     /// Writes the current values of the scrape-time gauges.
     fn refresh_gauges(&self) {
         self.sched
@@ -852,6 +897,7 @@ impl Warehouse {
         let mut engine = MaintenanceEngine::new(plan, &self.catalog)?;
         engine.set_fault_plan(self.config.faults.clone());
         engine.set_targeted_updates(self.config.targeted_updates);
+        engine.set_vectorized(self.config.vectorized);
         engine.set_obs(self.obs.clone());
         engine.initial_load(db)?;
         // The initial load already reflects every committed batch, so
@@ -1866,6 +1912,35 @@ mod tests {
     }
 
     #[test]
+    fn vectorized_knob_off_still_verifies() {
+        // `.vectorized(false)` forces the row-at-a-time root apply in
+        // every engine; the maintained image must still verify (the two
+        // paths are byte-identical — see md-maintain's parity test).
+        let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let mut wh = Warehouse::builder().vectorized(false).build(db.catalog());
+        wh.add_summary_sql(md_workload::views::PRODUCT_SALES_SQL, &db)
+            .unwrap();
+        let changes = sale_changes(&mut db, &schema, 40, UpdateMix::balanced(), 7);
+        wh.apply_batch(&ChangeBatch::single(schema.sale, changes))
+            .unwrap();
+        assert!(wh.verify_all(&db).unwrap());
+    }
+
+    #[test]
+    fn relation_gauges_render_in_metrics() {
+        let (db, _schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
+        let wh = Warehouse::builder()
+            .observe(ObsConfig::metrics())
+            .build(db.catalog());
+        wh.observe_relation(&db);
+        let text = wh.metrics_prometheus();
+        // Four base tables, each under one chunk's capacity → one chunk
+        // apiece; no deletions yet → 100% fill.
+        assert!(text.contains("relation.chunk_count 4"), "{text}");
+        assert!(text.contains("relation.chunk_fill 100"), "{text}");
+    }
+
+    #[test]
     fn schedule_model_is_clean_and_planted_bug_is_md060() {
         let (mut db, schema) = generate_retail(RetailParams::tiny(), Contracts::Tight);
         let mut wh = Warehouse::builder().workers(2).build(db.catalog());
@@ -1985,7 +2060,7 @@ mod tests {
             .unwrap();
         // A transient row: insert + delete annihilate under coalescing.
         let next_id = db.table(schema.sale).len() as i64 + 1000;
-        let template = db.table(schema.sale).scan().next().unwrap().clone();
+        let template = db.table(schema.sale).rows().next().unwrap().clone();
         let mut values = template.values().to_vec();
         values[0] = md_relation::Value::Int(next_id);
         let row = md_relation::Row::from(values);

@@ -433,7 +433,7 @@ impl RandomSetup {
         let keys: Vec<Value> = self
             .db
             .table(table)
-            .scan()
+            .rows()
             .map(|r| r[self.catalog.def(table).expect("t").key_col].clone())
             .collect();
         if keys.is_empty() {

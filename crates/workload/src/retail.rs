@@ -306,8 +306,8 @@ mod tests {
     fn generation_is_deterministic() {
         let (db1, s1) = generate_retail(RetailParams::tiny(), Contracts::Tight);
         let (db2, s2) = generate_retail(RetailParams::tiny(), Contracts::Tight);
-        let rows1: Vec<_> = db1.table(s1.sale).scan().cloned().collect();
-        let rows2: Vec<_> = db2.table(s2.sale).scan().cloned().collect();
+        let rows1: Vec<_> = db1.table(s1.sale).rows().collect();
+        let rows2: Vec<_> = db2.table(s2.sale).rows().collect();
         assert_eq!(rows1, rows2);
     }
 
@@ -317,8 +317,8 @@ mod tests {
         p2.seed = 43;
         let (db1, s1) = generate_retail(RetailParams::tiny(), Contracts::Tight);
         let (db2, s2) = generate_retail(p2, Contracts::Tight);
-        let rows1: Vec<_> = db1.table(s1.sale).scan().cloned().collect();
-        let rows2: Vec<_> = db2.table(s2.sale).scan().cloned().collect();
+        let rows1: Vec<_> = db1.table(s1.sale).rows().collect();
+        let rows2: Vec<_> = db2.table(s2.sale).rows().collect();
         assert_ne!(rows1, rows2);
     }
 
@@ -330,7 +330,7 @@ mod tests {
         let (db, schema) = generate_retail(params, Contracts::Tight);
         use std::collections::HashMap;
         let mut groups: HashMap<(i64, i64), u64> = HashMap::new();
-        for r in db.table(schema.sale).scan() {
+        for r in db.table(schema.sale).rows() {
             let t = r[1].as_int().unwrap();
             let p = r[2].as_int().unwrap();
             *groups.entry((t, p)).or_insert(0) += 1;
@@ -357,7 +357,7 @@ mod tests {
         let (db, schema) = generate_retail(params, Contracts::Tight);
         let years: std::collections::BTreeSet<i64> = db
             .table(schema.time)
-            .scan()
+            .rows()
             .map(|r| r[3].as_int().unwrap())
             .collect();
         assert_eq!(years, [1996i64, 1997].into_iter().collect());

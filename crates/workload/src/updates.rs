@@ -55,7 +55,7 @@ pub fn sale_changes(
     // Track live sale ids locally to pick delete/update victims cheaply.
     let mut live: Vec<i64> = db
         .table(schema.sale)
-        .scan()
+        .rows()
         .map(|r| r[0].as_int().expect("sale.id is Int"))
         .collect();
     let mut next_id: i64 = live.iter().copied().max().unwrap_or(0) + 1;
@@ -118,7 +118,7 @@ pub fn product_brand_changes(
     let mut rng = StdRng::seed_from_u64(seed);
     let ids: Vec<i64> = db
         .table(schema.product)
-        .scan()
+        .rows()
         .map(|r| r[0].as_int().expect("product.id is Int"))
         .collect();
     let mut changes = Vec::with_capacity(n);
@@ -184,7 +184,7 @@ pub fn hot_sale_batches(
 ) -> Vec<Vec<Change>> {
     let live: Vec<i64> = db
         .table(schema.sale)
-        .scan()
+        .rows()
         .map(|r| r[0].as_int().expect("sale.id is Int"))
         .collect();
     assert!(!live.is_empty(), "need loaded sale rows to reprice");
